@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet test race bench repro repro-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full scale.
+repro:
+	$(GO) run ./cmd/olapbench
+
+repro-quick:
+	$(GO) run ./cmd/olapbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/retail
+	$(GO) run ./examples/scheduler_trace
+	$(GO) run ./examples/capacity_planning
+	$(GO) run ./examples/cube_explorer
+
+clean:
+	$(GO) clean ./...

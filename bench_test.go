@@ -1,0 +1,161 @@
+package olap
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations. Each iteration regenerates the experiment at quick scale via
+// the same code path as `cmd/olapbench`; run the binary for the full-scale
+// reproduction with paper-vs-measured output.
+
+import (
+	"testing"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/experiments"
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, experiments.Options{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkTable1CPURate regenerates Table 1: CPU cube processing rate for
+// the {4KB, 512KB, 512MB} cube set at 1/4/8 threads.
+func BenchmarkTable1CPURate(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2LargeCube regenerates Table 2: the rate with the 32GB
+// cube added.
+func BenchmarkTable2LargeCube(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3HybridRate regenerates Table 3: the full hybrid system
+// under the Fig. 10 scheduler.
+func BenchmarkTable3HybridRate(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTranslationOverhead regenerates the Sec. IV text-translation
+// overhead measurement (paper: ~7% GPU slowdown).
+func BenchmarkTranslationOverhead(b *testing.B) { benchExperiment(b, "translation") }
+
+// BenchmarkFig3Bandwidth regenerates Fig. 3: memory bandwidth vs cube size
+// for 1/4/8 workers.
+func BenchmarkFig3Bandwidth(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4Sweep4T regenerates Fig. 4: processing time vs sub-cube
+// size at 4 workers with the two-piece model fit.
+func BenchmarkFig4Sweep4T(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5Sweep8T regenerates Fig. 5: the 8-worker characteristic.
+func BenchmarkFig5Sweep8T(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig8GPUPartitions regenerates Fig. 8: GPU partition query time
+// vs C/C_TOT for 1/2/4 SM partitions.
+func BenchmarkFig8GPUPartitions(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9DictSearch regenerates Fig. 9: dictionary search time vs
+// dictionary length.
+func BenchmarkFig9DictSearch(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkAblationPlacement compares GPU queue placement orders.
+func BenchmarkAblationPlacement(b *testing.B) { benchExperiment(b, "ablation-placement") }
+
+// BenchmarkAblationTranslationPartition compares the dedicated translation
+// partition against inline translation on the CPU queue.
+func BenchmarkAblationTranslationPartition(b *testing.B) { benchExperiment(b, "ablation-translation") }
+
+// BenchmarkAblationFeedback compares the estimation feedback on and off.
+func BenchmarkAblationFeedback(b *testing.B) { benchExperiment(b, "ablation-feedback") }
+
+// BenchmarkAblationGlobalDict compares per-column vs global dictionaries.
+func BenchmarkAblationGlobalDict(b *testing.B) { benchExperiment(b, "ablation-globaldict") }
+
+// BenchmarkAblationPartitionLayout compares GPU partition layouts.
+func BenchmarkAblationPartitionLayout(b *testing.B) { benchExperiment(b, "ablation-layout") }
+
+// BenchmarkBatchHeuristics compares the Fig. 10 on-line algorithm against
+// Braun et al.'s Min-Min and Max-Min batch heuristics.
+func BenchmarkBatchHeuristics(b *testing.B) { benchExperiment(b, "batch-heuristics") }
+
+// BenchmarkTranslationAlgorithms regenerates the future-work translation
+// algorithm comparison.
+func BenchmarkTranslationAlgorithms(b *testing.B) { benchExperiment(b, "translation-algos") }
+
+// BenchmarkRealEngineBatch measures the real-execution engine end to end:
+// 64 mixed queries scheduled and answered on actual cubes, dictionaries
+// and simulated-GPU scans.
+func BenchmarkRealEngineBatch(b *testing.B) {
+	sys, err := engine.Setup(engine.SetupSpec{Rows: 20_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := query.NewGenerator(query.GenConfig{
+		Schema:        sys.Config().Table.Schema(),
+		Seed:          2,
+		Dicts:         sys.Config().Table.Dicts(),
+		TextProb:      0.3,
+		LevelWeights:  []float64{0.4, 0.4, 0.2},
+		MeasureChoice: []int{0},
+		Ops:           []table.AggOp{table.AggSum, table.AggCount},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := gen.Batch(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.RunReal(qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("%d queries failed", res.Failed)
+		}
+	}
+}
+
+// BenchmarkModelEngine10k measures the discrete-event system model:
+// 10 000 scheduled queries on virtual time per iteration.
+func BenchmarkModelEngine10k(b *testing.B) {
+	sys, err := engine.Setup(engine.SetupSpec{
+		Rows: 2_000, Seed: 1, VirtualLevels: []int{2, 3},
+		VirtualDictLens: map[string]int{"store_name": 100_000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := query.NewGenerator(query.GenConfig{
+		Schema:        sys.Config().Table.Schema(),
+		Seed:          2,
+		Dicts:         sys.Config().Table.Dicts(),
+		TextProb:      0.3,
+		MeasureChoice: []int{0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := gen.Batch(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh system per iteration keeps queue clocks comparable.
+		sys, err := engine.Setup(engine.SetupSpec{
+			Rows: 2_000, Seed: 1, VirtualLevels: []int{2, 3},
+			VirtualDictLens: map[string]int{"store_name": 100_000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunModel(qs, engine.ModelOptions{
+			Arrival: engine.Arrival{RatePerSec: 500},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sched.PolicyPaper
+}

@@ -1,0 +1,200 @@
+// Command cubegen generates a synthetic fact table, pre-calculates OLAP
+// cubes at the requested resolution levels and reports storage statistics:
+// logical vs compressed size, fill factors and dictionary lengths. It is
+// the data-preparation step of the hybrid OLAP system, runnable on its
+// own.
+//
+// Usage:
+//
+//	cubegen -rows 200000 -levels 0,1,2 -schema paper
+//	cubegen -rows 50000 -schema tpcds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hybridolap/internal/cube"
+	"hybridolap/internal/table"
+	"hybridolap/internal/tpcds"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 100_000, "fact table rows")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		levelsArg = flag.String("levels", "0,1", "comma-separated cube levels to pre-calculate")
+		schema    = flag.String("schema", "paper", "schema: paper or tpcds")
+		workers   = flag.Int("workers", 0, "cube build workers (0 = GOMAXPROCS)")
+		outDir    = flag.String("out", "", "directory to persist table.bin and cube_<level>.bin into")
+		iceberg   = flag.Int("iceberg", 0, "also build a BUC iceberg cube at the coarsest level with this min support")
+	)
+	flag.Parse()
+
+	levels, err := parseLevels(*levelsArg)
+	if err != nil {
+		fail(err)
+	}
+
+	var ft *table.FactTable
+	switch *schema {
+	case "paper":
+		ft, err = table.Generate(table.GenSpec{Schema: table.PaperSchema(), Rows: *rows, Seed: *seed})
+	case "tpcds":
+		ft, err = tpcds.Generate(tpcds.Spec{Rows: *rows, Seed: *seed})
+	default:
+		err = fmt.Errorf("unknown schema %q (want paper or tpcds)", *schema)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("fact table: %d rows, %d columns, %s\n",
+		ft.Rows(), ft.Schema().TotalColumns(), human(ft.SizeBytes()))
+	if d := ft.Dicts(); d != nil {
+		for _, col := range d.Columns() {
+			fmt.Printf("  dictionary %-16s D_L = %d\n", col, d.DictLen(col))
+		}
+	}
+	fmt.Println()
+
+	set := cube.NewSet(ft.Schema())
+	for _, l := range levels {
+		c, err := cube.BuildFromTable(ft, l, 0, cube.Config{Workers: *workers})
+		if err != nil {
+			fail(err)
+		}
+		if err := set.Add(c); err != nil {
+			fail(err)
+		}
+		fmt.Printf("cube level %d: cards %v\n", l, c.Cards())
+		fmt.Printf("  logical %-10s storage %-10s fill %.2f%%  cells %d\n",
+			human(c.LogicalBytes()), human(c.StorageBytes()),
+			c.FillFactor()*100, c.FilledCells())
+	}
+	fmt.Printf("\ntotal cube storage: %s (main-memory budget of Fig. 1)\n",
+		human(set.TotalStorageBytes()))
+
+	if *iceberg > 0 {
+		ic, err := cube.BuildIceberg(ft, levels[0], 0, *iceberg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nBUC iceberg cube at level %d, min support %d:\n", levels[0], *iceberg)
+		fmt.Printf("  %d supported cells across the full %d-dimensional group-by lattice\n",
+			ic.NumCells(), len(ft.Schema().Dimensions))
+		fmt.Printf("  apex: count=%d sum=%.2f\n", ic.Apex().Count, ic.Apex().Sum)
+	}
+
+	if *outDir != "" {
+		if err := persist(*outDir, ft, set, levels); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// persist writes the table and each cube, then reloads and verifies them.
+func persist(dir string, ft *table.FactTable, set *cube.Set, levels []int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tablePath := filepath.Join(dir, "table.bin")
+	f, err := os.Create(tablePath)
+	if err != nil {
+		return err
+	}
+	if err := ft.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := os.Open(tablePath)
+	if err != nil {
+		return err
+	}
+	reloaded, err := table.Load(rf)
+	rf.Close()
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", tablePath, err)
+	}
+	if reloaded.Rows() != ft.Rows() {
+		return fmt.Errorf("verify %s: %d rows, expected %d", tablePath, reloaded.Rows(), ft.Rows())
+	}
+	fmt.Printf("\nwrote %s (verified, %d rows)\n", tablePath, reloaded.Rows())
+
+	for _, l := range levels {
+		c, ok := set.Get(l)
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("cube_%d.bin", l))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := c.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		rf, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rc, err := cube.LoadCube(rf)
+		rf.Close()
+		if err != nil {
+			return fmt.Errorf("verify %s: %w", path, err)
+		}
+		if rc.FilledCells() != c.FilledCells() {
+			return fmt.Errorf("verify %s: %d cells, expected %d", path, rc.FilledCells(), c.FilledCells())
+		}
+		fmt.Printf("wrote %s (verified, %d cells)\n", path, rc.FilledCells())
+	}
+	return nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no levels given")
+	}
+	return out, nil
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cubegen:", err)
+	os.Exit(1)
+}

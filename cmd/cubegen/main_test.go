@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseLevels(t *testing.T) {
+	got, err := parseLevels("0, 1,2")
+	if err != nil || len(got) != 3 || got[2] != 2 {
+		t.Fatalf("parseLevels = (%v, %v)", got, err)
+	}
+	if _, err := parseLevels(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := parseLevels("a,b"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.00 KB",
+		3 << 20: "3.00 MB",
+		5 << 30: "5.00 GB",
+	}
+	for in, want := range cases {
+		if got := human(in); got != want {
+			t.Fatalf("human(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

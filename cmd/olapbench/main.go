@@ -1,0 +1,69 @@
+// Command olapbench regenerates the paper's evaluation: every table and
+// figure of Sec. IV plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	olapbench                          # run everything, full scale
+//	olapbench -quick                   # reduced sweeps (CI scale)
+//	olapbench -experiment table3       # one experiment
+//	olapbench -list                    # list experiment IDs
+//	olapbench -seed 7                  # reseed the synthetic workloads
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridolap/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick      = flag.Bool("quick", false, "reduced sweep/workload sizes")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		asJSON     = flag.Bool("json", false, "emit results as JSON instead of text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	emit := func(t *experiments.Table) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(t); err != nil {
+				fmt.Fprintln(os.Stderr, "olapbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		t.Fprint(os.Stdout)
+	}
+	if *experiment != "" {
+		t, err := experiments.Run(*experiment, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapbench:", err)
+			os.Exit(1)
+		}
+		emit(t)
+		return
+	}
+	for _, id := range experiments.IDs() {
+		t, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapbench:", err)
+			os.Exit(1)
+		}
+		emit(t)
+	}
+}

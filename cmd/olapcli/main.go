@@ -1,0 +1,131 @@
+// Command olapcli is an interactive query shell over a demo hybrid OLAP
+// system: it parses SQL-like queries, schedules each with the paper's
+// Fig. 10 algorithm and reports the answer plus which partition served it.
+//
+// Usage:
+//
+//	olapcli -rows 100000
+//	> SELECT sum(sales) WHERE time.month BETWEEN 0 AND 11
+//	> \schema
+//	> \stats
+//	> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	olap "hybridolap"
+)
+
+func main() {
+	var (
+		rows = flag.Int("rows", 100_000, "fact table rows")
+		seed = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("building demo system (%d rows)...\n", *rows)
+	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olapcli:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ready. \\help for commands.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			printHelp()
+		case line == `\schema`:
+			printSchema(db)
+		case line == `\stats`:
+			printStats(db)
+		case strings.HasPrefix(line, `\explain `):
+			ex, err := db.Explain(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(ex)
+			}
+		default:
+			runQuery(db, line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func printHelp() {
+	fmt.Print(`queries:
+  SELECT <agg>(<measure>) [WHERE <cond> [AND <cond>]...]
+  agg: sum count min max avg; count also accepts *
+  dimension cond:  time.month BETWEEN 3 AND 7   |  geo.region = 2
+  text cond:       store_name = 'able bar #1'   |  customer_city BETWEEN 'a' AND 'b'
+commands:
+  \schema        show dimensions, levels, measures and text columns
+  \stats         show scheduler statistics
+  \explain <q>   price and place a query without running it
+  \quit          exit
+`)
+}
+
+func printSchema(db *olap.DB) {
+	s := db.Schema()
+	for _, d := range s.Dimensions {
+		fmt.Printf("dimension %s:", d.Name)
+		for _, l := range d.Levels {
+			fmt.Printf(" %s(%d)", l.Name, l.Cardinality)
+		}
+		fmt.Println()
+	}
+	for _, m := range s.Measures {
+		fmt.Printf("measure   %s\n", m.Name)
+	}
+	for _, t := range s.Texts {
+		fmt.Printf("text      %s\n", t.Name)
+	}
+}
+
+func printStats(db *olap.DB) {
+	st := db.System().Scheduler().Stats()
+	fmt.Printf("submitted %d  cpu %d  translated %d  predicted-late %d\n",
+		st.Submitted, st.ToCPU, st.Translated, st.PredictedLate)
+	for i, n := range st.ToGPU {
+		fmt.Printf("  gpu[%d]: %d\n", i, n)
+	}
+}
+
+func runQuery(db *olap.DB, sql string) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if q.Grouped() {
+		rows, route, err := db.QueryGroups(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for _, r := range rows {
+			fmt.Printf("  %-40s %.4f  (%d rows)\n", strings.Join(r.Labels, ", "), r.Value, r.Rows)
+		}
+		fmt.Printf("%d groups via %s\n", len(rows), route.Kind)
+		return
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.4f  (%d rows, via %s, %v)\n", res.Value, res.Rows, res.Route.Kind, res.Latency)
+}

@@ -1,0 +1,38 @@
+// Command olapd serves the hybrid OLAP engine over HTTP.
+//
+//	olapd -addr :8080 -rows 100000
+//
+//	curl localhost:8080/schema
+//	curl -d '{"sql":"SELECT sum(sales) WHERE time.year = 1"}' localhost:8080/query
+//	curl -d '{"sql":"SELECT count(*) GROUP BY geo.region"}' localhost:8080/query
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	olap "hybridolap"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		rows = flag.Int("rows", 100_000, "fact table rows")
+		seed = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	log.Printf("olapd: building system (%d rows)...", *rows)
+	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed})
+	if err != nil {
+		log.Fatal("olapd: ", err)
+	}
+	mux := newMux(db)
+	log.Printf("olapd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(fmt.Errorf("olapd: %w", err))
+	}
+}

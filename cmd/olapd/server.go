@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	olap "hybridolap"
+)
+
+// server wraps a DB with the HTTP API.
+type server struct {
+	db *olap.DB
+}
+
+// newMux builds the API routes:
+//
+//	GET  /healthz       liveness
+//	GET  /schema        dimensions, levels, measures, text columns
+//	GET  /stats         scheduler statistics
+//	POST /query         {"sql": "..."} -> scalar or grouped answer
+//	POST /explain       {"sql": "..."} -> estimates + hypothetical placement
+func newMux(db *olap.DB) *http.ServeMux {
+	s := &server{db: db}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/schema", s.handleSchema)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type schemaLevel struct {
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"`
+}
+
+type schemaDim struct {
+	Name   string        `json:"name"`
+	Levels []schemaLevel `json:"levels"`
+}
+
+type schemaResponse struct {
+	Dimensions []schemaDim `json:"dimensions"`
+	Measures   []string    `json:"measures"`
+	Texts      []string    `json:"text_columns"`
+}
+
+func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	sc := s.db.Schema()
+	resp := schemaResponse{}
+	for _, d := range sc.Dimensions {
+		sd := schemaDim{Name: d.Name}
+		for _, l := range d.Levels {
+			sd.Levels = append(sd.Levels, schemaLevel{Name: l.Name, Cardinality: l.Cardinality})
+		}
+		resp.Dimensions = append(resp.Dimensions, sd)
+	}
+	for _, m := range sc.Measures {
+		resp.Measures = append(resp.Measures, m.Name)
+	}
+	for _, t := range sc.Texts {
+		resp.Texts = append(resp.Texts, t.Name)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type statsResponse struct {
+	Submitted     int64   `json:"submitted"`
+	ToCPU         int64   `json:"to_cpu"`
+	ToGPU         []int64 `json:"to_gpu"`
+	Translated    int64   `json:"translated"`
+	PredictedLate int64   `json:"predicted_late"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.db.System().Scheduler().Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Submitted:     st.Submitted,
+		ToCPU:         st.ToCPU,
+		ToGPU:         st.ToGPU,
+		Translated:    st.Translated,
+		PredictedLate: st.PredictedLate,
+	})
+}
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+type groupRow struct {
+	Labels []string `json:"labels"`
+	Value  float64  `json:"value"`
+	Rows   int64    `json:"rows"`
+}
+
+type queryResponse struct {
+	Value     *float64   `json:"value,omitempty"`
+	Rows      *int64     `json:"rows,omitempty"`
+	Groups    []groupRow `json:"groups,omitempty"`
+	Route     string     `json:"route"`
+	LatencyMS float64    `json:"latency_ms"`
+}
+
+type explainResponse struct {
+	Resolution      int       `json:"resolution"`
+	ColumnsAccessed int       `json:"columns_accessed"`
+	SubCubeBytes    int64     `json:"sub_cube_bytes"`
+	CPUOK           bool      `json:"cpu_ok"`
+	CPUSeconds      float64   `json:"cpu_seconds"`
+	GPUSeconds      []float64 `json:"gpu_seconds"`
+	TransSeconds    float64   `json:"trans_seconds"`
+	Decision        string    `json:"decision"`
+	MeetsDeadline   bool      `json:"meets_deadline"`
+	Reason          string    `json:"reason"`
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ex, err := s.db.Explain(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Resolution:      ex.Resolution,
+		ColumnsAccessed: ex.ColumnsAccessed,
+		SubCubeBytes:    ex.SubCubeBytes,
+		CPUOK:           ex.Estimates.CPUOK,
+		CPUSeconds:      ex.Estimates.CPUSeconds,
+		GPUSeconds:      ex.Estimates.GPUSeconds,
+		TransSeconds:    ex.Estimates.TransSeconds,
+		Decision:        ex.Decision.Queue.String(),
+		MeetsDeadline:   ex.Decision.MeetsDeadline,
+		Reason:          ex.Reason,
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	q, err := s.db.Parse(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	t0 := time.Now()
+	if q.Grouped() {
+		rows, route, err := s.db.QueryGroups(req.SQL)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp := queryResponse{Route: route.Kind, LatencyMS: time.Since(t0).Seconds() * 1000}
+		for _, g := range rows {
+			resp.Groups = append(resp.Groups, groupRow{Labels: g.Labels, Value: g.Value, Rows: g.Rows})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	res, err := s.db.Run(q)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Value: &res.Value, Rows: &res.Rows,
+		Route: res.Route.Kind, LatencyMS: res.Latency.Seconds() * 1000,
+	})
+}

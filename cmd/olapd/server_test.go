@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	olap "hybridolap"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db, err := olap.Open(olap.Options{Rows: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(db))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	var v map[string]string
+	if code := get(t, ts, "/healthz", &v); code != 200 || v["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, v)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var v schemaResponse
+	if code := get(t, ts, "/schema", &v); code != 200 {
+		t.Fatalf("schema = %d", code)
+	}
+	if len(v.Dimensions) != 3 || len(v.Measures) != 2 || len(v.Texts) != 2 {
+		t.Fatalf("schema = %+v", v)
+	}
+	if v.Dimensions[0].Name != "time" || len(v.Dimensions[0].Levels) != 4 {
+		t.Fatalf("time dimension = %+v", v.Dimensions[0])
+	}
+}
+
+func TestScalarQuery(t *testing.T) {
+	ts := testServer(t)
+	var v queryResponse
+	code := postQuery(t, ts, `{"sql":"SELECT count(*)"}`, &v)
+	if code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if v.Value == nil || *v.Value != 2000 || v.Rows == nil || *v.Rows != 2000 {
+		t.Fatalf("response = %+v", v)
+	}
+	if v.Route == "" || v.LatencyMS < 0 {
+		t.Fatalf("route/latency = %+v", v)
+	}
+}
+
+func TestGroupedQuery(t *testing.T) {
+	ts := testServer(t)
+	var v queryResponse
+	code := postQuery(t, ts, `{"sql":"SELECT sum(sales) GROUP BY geo.region"}`, &v)
+	if code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if v.Value != nil || len(v.Groups) == 0 || len(v.Groups) > 4 {
+		t.Fatalf("response = %+v", v)
+	}
+	var total int64
+	for _, g := range v.Groups {
+		if len(g.Labels) != 1 || !strings.HasPrefix(g.Labels[0], "geo.region=") {
+			t.Fatalf("group = %+v", g)
+		}
+		total += g.Rows
+	}
+	if total != 2000 {
+		t.Fatalf("rows total = %d", total)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"sql":""}`, 400},
+		{`not json`, 400},
+		{`{"sql":"SELECT frob(sales)"}`, 400},
+		{`{"sql":"SELECT sum(sales) WHERE time.month = 999"}`, 400},
+	}
+	for _, c := range cases {
+		if code := postQuery(t, ts, c.body, nil); code != c.want {
+			t.Fatalf("body %q: code = %d, want %d", c.body, code, c.want)
+		}
+	}
+	// GET /query is rejected.
+	if code := get(t, ts, "/query", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d", code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/explain", "application/json",
+		strings.NewReader(`{"sql":"SELECT sum(sales) WHERE time.year = 1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("explain = %d", resp.StatusCode)
+	}
+	var v explainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.CPUOK || v.Decision != "cpu" || len(v.GPUSeconds) != 6 {
+		t.Fatalf("explain = %+v", v)
+	}
+	// Explaining never executes: stats stay zero.
+	var st statsResponse
+	get(t, ts, "/stats", &st)
+	if st.Submitted != 0 {
+		t.Fatalf("explain committed %d submissions", st.Submitted)
+	}
+	// Bad SQL.
+	resp2, err := http.Post(ts.URL+"/explain", "application/json",
+		strings.NewReader(`{"sql":"frob"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Fatalf("bad explain = %d", resp2.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	// Run two queries first.
+	postQuery(t, ts, `{"sql":"SELECT count(*)"}`, nil)
+	postQuery(t, ts, `{"sql":"SELECT sum(sales) WHERE time.hour BETWEEN 0 AND 99"}`, nil)
+	var v statsResponse
+	if code := get(t, ts, "/stats", &v); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if v.Submitted < 2 || len(v.ToGPU) != 6 {
+		t.Fatalf("stats = %+v", v)
+	}
+}

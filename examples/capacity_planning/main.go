@@ -1,0 +1,114 @@
+// Capacity planning: use the calibrated performance models the way the
+// paper's Fig. 1 does — find the equilibrium level G where GPU processing
+// overtakes CPU cube processing, and size the deadline a configuration can
+// sustain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/perfmodel"
+	"hybridolap/internal/query"
+	"hybridolap/internal/table"
+)
+
+func main() {
+	est := perfmodel.PaperEstimator()
+
+	// 1. The Fig. 1 crossover: for each CPU model, the sub-cube size at
+	//    which the fastest GPU partition answers as fast as the CPU.
+	//    Below it, pre-calculated cubes win; above it, ship the query to
+	//    the GPU.
+	fmt.Println("Fig. 1 equilibrium (level G): sub-cube size where T_CPU = T_GPU(4SM)")
+	gpuBest := perfmodel.PaperGPU4SM.Eval(0.25) // typical query: 4 of 16 columns
+	for _, threads := range []int{1, 4, 8} {
+		lo, hi := 0.001, 64*1024.0 // MB
+		for i := 0; i < 80; i++ {
+			mid := (lo + hi) / 2
+			t, err := est.CPUTime(threads, mid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if t < gpuBest {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		fmt.Printf("  %d threads: %8.2f MB  (GPU 4SM answers a 4-of-16-column query in %.2f ms)\n",
+			threads, lo, gpuBest*1000)
+	}
+
+	// 2. Cube memory budget: what does pre-calculating each level cost?
+	sys, err := engine.Setup(engine.SetupSpec{Rows: 2_000, Seed: 1,
+		CubeLevels: []int{0, 1}, VirtualLevels: []int{2, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := sys.Config().Cubes
+	fmt.Println("\npre-calculated cube sizes (paper schema):")
+	for _, l := range cs.Levels() {
+		kind := "materialised"
+		if cs.IsVirtual(l) {
+			kind = "virtual (model only)"
+		}
+		fmt.Printf("  level %d: %10.2f MB  %s\n",
+			l, float64(cs.LogicalBytesAt(l))/(1<<20), kind)
+	}
+
+	// 3. The cube pre-calculation advisor: which levels should this box
+	//    materialise under different memory budgets? (Fig. 1's level M.)
+	fmt.Println("\ncube pre-calculation advice (uniform level mix, 25% selectivity):")
+	ps := table.PaperSchema()
+	for _, budget := range []int64{1 << 20, 600 << 20, 40 << 30} {
+		adv, err := engine.Advise(engine.AdvisorSpec{
+			Schema:       &ps,
+			BudgetBytes:  budget,
+			LevelWeights: []float64{0.25, 0.25, 0.25, 0.25},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  budget %8.1f MB -> levels %v (%.1f MB used, %.0f%% of queries on CPU, %.2f ms expected)\n",
+			float64(budget)/(1<<20), adv.Levels, float64(adv.UsedBytes)/(1<<20),
+			adv.CPUFraction*100, adv.ExpectedSeconds*1000)
+	}
+
+	// 4. Deadline sizing: sweep T_C and report the met-deadline fraction
+	//    of the standard mixed stream at 300 q/s.
+	fmt.Println("\ndeadline sizing at 300 q/s (mixed workload):")
+	for _, tc := range []float64{0.02, 0.05, 0.1, 0.25, 0.5} {
+		sys, err := engine.Setup(engine.SetupSpec{
+			Rows: 3_000, Seed: 1,
+			CubeLevels: []int{0, 1}, VirtualLevels: []int{2, 3},
+			CPUThreads: 8, DeadlineSeconds: tc,
+			VirtualDictLens: map[string]int{"store_name": 200_000, "customer_city": 80_000},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := query.NewGenerator(query.GenConfig{
+			Schema:        sys.Config().Table.Schema(),
+			Seed:          2,
+			Dicts:         sys.Config().Table.Dicts(),
+			TextProb:      0.25,
+			LevelWeights:  []float64{0.3, 0.3, 0.25, 0.15},
+			MeasureChoice: []int{0},
+			Ops:           []table.AggOp{table.AggSum},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.RunModel(gen.Batch(600), engine.ModelOptions{
+			Arrival: engine.Arrival{RatePerSec: 300, Jitter: 0.2, Seed: 3},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  T_C = %5.0f ms: %5.1f%% met, mean latency %6.1f ms\n",
+			tc*1000, 100*float64(res.MetDeadline)/float64(res.Completed),
+			res.MeanLatencySeconds*1000)
+	}
+}

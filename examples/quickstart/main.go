@@ -1,0 +1,41 @@
+// Quickstart: open a hybrid OLAP system, run a few queries through the
+// public API and see which partition the scheduler picked for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	olap "hybridolap"
+)
+
+func main() {
+	// A laptop-scale instance of the paper's evaluation setup: a synthetic
+	// fact table on the simulated Tesla C2070 and pre-calculated cubes at
+	// the two coarsest resolutions for the CPU partition.
+	db, err := olap.Open(olap.Options{Rows: 100_000, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		// Coarse aggregate: tiny sub-cube, CPU cube partition wins.
+		"SELECT sum(sales) WHERE time.year BETWEEN 0 AND 3",
+		// Finer aggregate: month-level cube.
+		"SELECT avg(sales) WHERE time.month BETWEEN 0 AND 11 AND geo.region = 2",
+		// Finest resolution (hour level): no pre-calculated cube is fine
+		// enough, so the GPU scans the fact table.
+		"SELECT sum(sales) WHERE time.hour BETWEEN 100 AND 227",
+		// Text predicate: dictionary translation, then a GPU scan.
+		"SELECT count(*) WHERE store_name = 'store_name-000007'",
+	}
+
+	for _, sql := range queries {
+		res, err := db.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		fmt.Printf("%-72s -> %12.2f  (%6d rows, via %-6s in %v)\n",
+			sql, res.Value, res.Rows, res.Route.Kind, res.Latency)
+	}
+}

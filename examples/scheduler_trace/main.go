@@ -1,0 +1,130 @@
+// Scheduler trace: watch the Fig. 10 algorithm make decisions on the
+// system model — per-query estimates, chosen partitions, deadline hits and
+// partition utilisation under an open arrival stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+func main() {
+	sys, err := engine.Setup(engine.SetupSpec{
+		Rows:            5_000,
+		Seed:            3,
+		CubeLevels:      []int{0, 1},
+		VirtualLevels:   []int{2, 3}, // estimation-only large cubes
+		CPUThreads:      8,
+		DeadlineSeconds: 0.1,
+		VirtualDictLens: map[string]int{"store_name": 300_000, "customer_city": 100_000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen, err := query.NewGenerator(query.GenConfig{
+		Schema:        sys.Config().Table.Schema(),
+		Seed:          5,
+		Dicts:         sys.Config().Table.Dicts(),
+		TextProb:      0.25,
+		LevelWeights:  []float64{0.3, 0.3, 0.25, 0.15},
+		MeasureChoice: []int{0},
+		Ops:           []table.AggOp{table.AggSum, table.AggAvg, table.AggCount},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := gen.Batch(400)
+
+	// Print the scheduler's step-2 estimates and placement for the first
+	// few queries before running the full stream.
+	fmt.Println("step-2 estimates (seconds) and placements:")
+	fmt.Printf("  %-5s %-5s %-10s %-10s %-10s %-10s %s\n",
+		"query", "R", "T_CPU", "T_GPU1sm", "T_GPU4sm", "T_TRANS", "notes")
+	preview, err := engine.Setup(engine.SetupSpec{
+		Rows: 5_000, Seed: 3, CubeLevels: []int{0, 1}, VirtualLevels: []int{2, 3},
+		CPUThreads: 8, DeadlineSeconds: 0.1,
+		VirtualDictLens: map[string]int{"store_name": 300_000, "customer_city": 100_000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range queries[:12] {
+		est, err := preview.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpu := "-"
+		if est.CPUOK {
+			cpu = fmt.Sprintf("%.3g", est.CPUSeconds)
+		}
+		note := ""
+		if est.NeedsTranslation {
+			note = "needs translation"
+		} else if !est.CPUOK {
+			note = "too fine for cubes"
+		}
+		fmt.Printf("  %-5d %-5d %-10s %-10.3g %-10.3g %-10.3g %s\n",
+			q.ID, q.Resolution(), cpu, est.GPUSeconds[0], est.GPUSeconds[4],
+			est.TransSeconds, note)
+	}
+
+	// Run the stream at 300 queries/second with ±20% service noise.
+	res, err := sys.RunModel(queries, engine.ModelOptions{
+		Arrival: engine.Arrival{RatePerSec: 300, Jitter: 0.2, Seed: 9},
+		Noise:   engine.Noise{Amplitude: 0.2, Seed: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nstream: %d queries at 300 q/s, deadline T_C = 100ms\n", res.Queries)
+	fmt.Printf("  completed   %d\n", res.Completed)
+	fmt.Printf("  met dead.   %d (%.1f%%)\n", res.MetDeadline,
+		100*float64(res.MetDeadline)/float64(res.Completed))
+	fmt.Printf("  throughput  %.1f q/s\n", res.Throughput)
+	fmt.Printf("  mean lat.   %.1f ms\n", res.MeanLatencySeconds*1000)
+
+	st := res.SchedStats
+	fmt.Printf("\nplacements: cpu=%d translated=%d gpu=%v\n", st.ToCPU, st.Translated, st.ToGPU)
+
+	fmt.Println("\npartition utilisation:")
+	names := make([]string, 0, len(res.Utilisation))
+	for name := range res.Utilisation {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		u := res.Utilisation[name]
+		bar := ""
+		for i := 0; i < int(u*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-8s %5.1f%% %s\n", name, u*100, bar)
+	}
+
+	// The first few late queries, to see where deadlines die.
+	late := 0
+	fmt.Println("\nfirst late queries:")
+	for _, o := range res.Outcomes {
+		if o.MetDeadline {
+			continue
+		}
+		fmt.Printf("  query %-4d via %-7s submitted %.3fs finished %.3fs (deadline %.3fs)\n",
+			o.ID, o.Queue, o.SubmittedAt, o.FinishedAt, o.Deadline)
+		late++
+		if late >= 5 {
+			break
+		}
+	}
+	if late == 0 {
+		fmt.Println("  none")
+	}
+	_ = sched.PolicyPaper // document the policy in use
+}

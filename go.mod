@@ -1,0 +1,3 @@
+module hybridolap
+
+go 1.22

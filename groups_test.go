@@ -1,0 +1,95 @@
+package olap
+
+import (
+	"strings"
+	"testing"
+
+	"hybridolap/internal/query"
+)
+
+func TestQueryGroupsByDimension(t *testing.T) {
+	db := openSmall(t)
+	rows, route, err := db.QueryGroups("SELECT count(*) GROUP BY time.year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Kind == "" {
+		t.Fatal("missing route")
+	}
+	if len(rows) == 0 || len(rows) > 8 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	var total int64
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Labels[0], "time.year=") {
+			t.Fatalf("label = %q", r.Labels[0])
+		}
+		total += r.Rows
+	}
+	if total != 3000 {
+		t.Fatalf("rows total %d, want 3000", total)
+	}
+}
+
+func TestQueryGroupsByTextColumn(t *testing.T) {
+	db := openSmall(t)
+	rows, route, err := db.QueryGroups("SELECT sum(sales) WHERE time.year BETWEEN 0 AND 3 GROUP BY store_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Kind == "cpu" {
+		t.Fatal("text grouping must not use the CPU cube path")
+	}
+	if len(rows) == 0 {
+		t.Fatal("no groups")
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Labels[0], "store_name=") {
+			t.Fatalf("label = %q", r.Labels[0])
+		}
+		// Labels decode to actual dictionary strings, not numbers.
+		if strings.HasPrefix(r.Labels[0], "store_name=store_name-") == false {
+			t.Fatalf("undecoded label %q", r.Labels[0])
+		}
+	}
+}
+
+func TestQueryGroupsMultiKey(t *testing.T) {
+	db := openSmall(t)
+	rows, _, err := db.QueryGroups("SELECT avg(sales) WHERE geo.region = 1 GROUP BY time.year, product.sector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Labels) != 2 {
+			t.Fatalf("labels = %v", r.Labels)
+		}
+	}
+}
+
+func TestQueryGroupsErrors(t *testing.T) {
+	db := openSmall(t)
+	if _, _, err := db.QueryGroups("SELECT sum(sales)"); err == nil {
+		t.Fatal("ungrouped query accepted by QueryGroups")
+	}
+	if _, _, err := db.QueryGroups("SELECT sum(sales) GROUP BY ghost"); err == nil {
+		t.Fatal("unknown group column accepted")
+	}
+	if _, _, err := db.QueryGroups("SELECT sum(sales) GROUP BY time.year, geo.region, product.sector, time.month, geo.country"); err == nil {
+		t.Fatal("five group columns accepted")
+	}
+}
+
+func TestScalarPathRejectsGroupedQuery(t *testing.T) {
+	db := openSmall(t)
+	if _, err := db.Query("SELECT sum(sales) GROUP BY time.year"); err == nil {
+		t.Fatal("scalar Query accepted a grouped query")
+	}
+	q, err := db.Parse("SELECT sum(sales) GROUP BY time.year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Batch([]*query.Query{q}); err == nil {
+		t.Fatal("Batch accepted a grouped query")
+	}
+}

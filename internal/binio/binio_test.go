@@ -1,0 +1,170 @@
+package binio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.U16(65535)
+	w.U32(123456)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.F64(3.14159)
+	w.String("hello world")
+	w.String("")
+	w.U32s([]uint32{1, 2, 3})
+	w.U32s(nil)
+	w.F64s([]float64{-1.5, 2.5})
+	if err := w.Sum(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 65535 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := r.U32(); got != 123456 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.String(); got != "hello world" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	u := r.U32s(10)
+	if len(u) != 3 || u[2] != 3 {
+		t.Fatalf("U32s = %v", u)
+	}
+	if got := r.U32s(10); got != nil {
+		t.Fatalf("nil U32s = %v", got)
+	}
+	f := r.F64s(10)
+	if len(f) != 2 || f[0] != -1.5 {
+		t.Fatalf("F64s = %v", f)
+	}
+	if err := r.CheckSum(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(42)
+	w.String("payload")
+	if err := w.Sum(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[3] ^= 0xFF // flip a payload bit
+
+	r := NewReader(bytes.NewReader(data))
+	_ = r.U64()
+	_ = r.String()
+	if err := r.CheckSum(); err == nil {
+		t.Fatal("corruption undetected")
+	}
+}
+
+func TestShortReadSticky(t *testing.T) {
+	r := NewReader(strings.NewReader("ab"))
+	r.U64() // needs 8 bytes
+	if r.Err() == nil {
+		t.Fatal("short read undetected")
+	}
+	// Subsequent reads stay failed and return zero values.
+	if got := r.U32(); got != 0 || r.Err() == nil {
+		t.Fatal("sticky error not sticky")
+	}
+}
+
+func TestLengthGuards(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 40) // absurd length prefix
+	_ = w.Sum()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.Len(100); got != 0 || r.Err() == nil {
+		t.Fatal("oversized length accepted")
+	}
+
+	// Oversized string length.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.U32(MaxStringLen + 1)
+	_ = w.Sum()
+	r = NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.String(); got != "" || r.Err() == nil {
+		t.Fatal("oversized string accepted")
+	}
+
+	// Writing an oversized string fails.
+	w = NewWriter(&bytes.Buffer{})
+	w.String(strings.Repeat("x", MaxStringLen+1))
+	if w.Err() == nil {
+		t.Fatal("oversized string write accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b uint64, s string, xs []uint32, fs []float64) bool {
+		if len(s) > MaxStringLen {
+			s = s[:MaxStringLen]
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.U32(a)
+		w.U64(b)
+		w.String(s)
+		w.U32s(xs)
+		w.F64s(fs)
+		if err := w.Sum(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		if r.U32() != a || r.U64() != b || r.String() != s {
+			return false
+		}
+		gx := r.U32s(len(xs) + 1)
+		if len(gx) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if gx[i] != xs[i] {
+				return false
+			}
+		}
+		gf := r.F64s(len(fs) + 1)
+		if len(gf) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if gf[i] != fs[i] && !(fs[i] != fs[i] && gf[i] != gf[i]) { // NaN-safe
+				return false
+			}
+		}
+		return r.CheckSum() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

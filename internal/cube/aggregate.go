@@ -1,0 +1,205 @@
+package cube
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Aggregate folds every cell of the box (in this cube's level coordinates)
+// into a single Agg. workers <= 1 runs sequentially; otherwise the chunks
+// intersecting the box are statically partitioned across workers — the
+// parallel OpenMP loop of the paper, expressed as a goroutine fork/join.
+//
+// The returned Agg answers sum, count, avg, min and max simultaneously.
+func (c *Cube) Aggregate(box Box, workers int) (Agg, error) {
+	if err := box.validate(c.cards); err != nil {
+		return Agg{}, err
+	}
+	items := c.intersectingChunks(box)
+	if len(items) == 0 {
+		return Agg{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		var acc Agg
+		for _, it := range items {
+			acc = acc.Merge(c.aggregateChunk(it))
+		}
+		return acc, nil
+	}
+
+	partials := make([]Agg, workers)
+	var wg sync.WaitGroup
+	stripe := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var acc Agg
+			for i := lo; i < hi; i++ {
+				acc = acc.Merge(c.aggregateChunk(items[i]))
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var acc Agg
+	for _, p := range partials {
+		acc = acc.Merge(p)
+	}
+	return acc, nil
+}
+
+// workItem pairs a chunk index with the box↔chunk overlap in chunk-local
+// coordinates, plus whether the chunk lies entirely inside the box.
+type workItem struct {
+	chunkIdx int
+	local    Box
+	whole    bool
+}
+
+// intersectingChunks enumerates chunks overlapping the box.
+func (c *Cube) intersectingChunks(box Box) []workItem {
+	n := len(c.cards)
+	gFrom := make([]int, n)
+	gTo := make([]int, n)
+	for d, r := range box {
+		gFrom[d] = int(r.From) / c.side
+		gTo[d] = int(r.To) / c.side
+	}
+	var items []workItem
+	gc := make([]int, n) // current chunk grid coords
+	copy(gc, gFrom)
+	for {
+		idx := 0
+		whole := true
+		local := make(Box, n)
+		for d := 0; d < n; d++ {
+			idx = idx*c.grid[d] + gc[d]
+			chunkLo := gc[d] * c.side
+			lo, hi := 0, c.side-1
+			if int(box[d].From) > chunkLo {
+				lo = int(box[d].From) - chunkLo
+			}
+			if int(box[d].To) < chunkLo+c.side-1 {
+				hi = int(box[d].To) - chunkLo
+			}
+			// Chunks at the high edge of the grid may extend past the
+			// cardinality; cells there are never filled, so scanning them is
+			// harmless, but clamping keeps the "whole" test honest.
+			if edge := c.cards[d] - chunkLo - 1; hi > edge {
+				hi = edge
+			}
+			if lo != 0 || hi != c.side-1 {
+				whole = false
+			}
+			local[d] = Range{From: uint32(lo), To: uint32(hi)}
+		}
+		if c.chunks[idx] != nil {
+			items = append(items, workItem{chunkIdx: idx, local: local, whole: whole})
+		}
+		// Odometer increment over [gFrom, gTo].
+		d := n - 1
+		for d >= 0 {
+			gc[d]++
+			if gc[d] <= gTo[d] {
+				break
+			}
+			gc[d] = gFrom[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return items
+}
+
+// aggregateChunk folds the overlap region of one chunk.
+func (c *Cube) aggregateChunk(it workItem) Agg {
+	ch := c.chunks[it.chunkIdx]
+	var acc Agg
+	if ch == nil {
+		return acc
+	}
+	n := len(c.cards)
+	if !ch.isDense() {
+		// Compressed chunk. Entirely-contained chunks fold every entry; a
+		// partial overlap decodes each offset and tests membership.
+		if it.whole {
+			for _, cell := range ch.cells {
+				acc.fold(cell)
+			}
+			return acc
+		}
+		for k, off := range ch.offsets {
+			o := int(off)
+			inside := true
+			// Decode local coords last-dimension-first.
+			for d := n - 1; d >= 0; d-- {
+				x := uint32(o % c.side)
+				o /= c.side
+				if x < it.local[d].From || x > it.local[d].To {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				acc.fold(ch.cells[k])
+			}
+		}
+		return acc
+	}
+
+	// Dense chunk: stream contiguous runs along the last dimension.
+	last := n - 1
+	runFrom := int(it.local[last].From)
+	runLen := int(it.local[last].To) - runFrom + 1
+	// Odometer over the outer dimensions.
+	outer := make([]int, last)
+	for d := 0; d < last; d++ {
+		outer[d] = int(it.local[d].From)
+	}
+	for {
+		base := 0
+		for d := 0; d < last; d++ {
+			base = base*c.side + outer[d]
+		}
+		base = base*c.side + runFrom
+		run := ch.dense[base : base+runLen]
+		for i := range run {
+			if run[i].Count != 0 {
+				acc.fold(run[i])
+			}
+		}
+		if last == 0 {
+			break
+		}
+		d := last - 1
+		for d >= 0 {
+			outer[d]++
+			if outer[d] <= int(it.local[d].To) {
+				break
+			}
+			outer[d] = int(it.local[d].From)
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return acc
+}

@@ -1,0 +1,162 @@
+// Package cube implements the MOLAP side of the hybrid OLAP system: dense
+// array-based data cubes in the style of Zhao, Deshpande & Naughton (the
+// paper's [20]), chunked into fixed-size n-dimensional chunks with
+// chunk-offset compression for sparse chunks, organised into a
+// multi-resolution set (paper Fig. 1), and aggregated by a parallel worker
+// pool — the Go analogue of the paper's OpenMP implementation.
+//
+// Cube processing "is always constrained by memory bandwidth and not by the
+// performance of the CPU" (Sec. III-B), so the aggregation loops stream
+// chunk storage linearly and the parallel version partitions chunks
+// statically across workers.
+package cube
+
+import "fmt"
+
+// Cell is one aggregate cell of the cube. It carries enough state to answer
+// sum, count, avg, min and max queries exactly, matching what a fact-table
+// scan over the same rows would produce.
+type Cell struct {
+	Sum   float64
+	Count int64
+	Min   float64
+	Max   float64
+}
+
+// CellSize is E_size in eq. (3): the in-memory size of one cell in bytes.
+const CellSize = 32
+
+// add folds one measure value into the cell.
+func (c *Cell) add(v float64) {
+	if c.Count == 0 || v < c.Min {
+		c.Min = v
+	}
+	if c.Count == 0 || v > c.Max {
+		c.Max = v
+	}
+	c.Sum += v
+	c.Count++
+}
+
+// merge folds another cell into this one.
+func (c *Cell) merge(o Cell) {
+	if o.Count == 0 {
+		return
+	}
+	if c.Count == 0 {
+		*c = o
+		return
+	}
+	if o.Min < c.Min {
+		c.Min = o.Min
+	}
+	if o.Max > c.Max {
+		c.Max = o.Max
+	}
+	c.Sum += o.Sum
+	c.Count += o.Count
+}
+
+// Agg is the result of aggregating a region of the cube.
+type Agg struct {
+	Sum   float64
+	Count int64
+	Min   float64
+	Max   float64
+}
+
+// fold accumulates a cell into the aggregate.
+func (a *Agg) fold(c Cell) {
+	if c.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		a.Min, a.Max = c.Min, c.Max
+	} else {
+		if c.Min < a.Min {
+			a.Min = c.Min
+		}
+		if c.Max > a.Max {
+			a.Max = c.Max
+		}
+	}
+	a.Sum += c.Sum
+	a.Count += c.Count
+}
+
+// Merge combines two partial aggregates.
+func (a Agg) Merge(b Agg) Agg {
+	var out Agg
+	switch {
+	case a.Count == 0:
+		return b
+	case b.Count == 0:
+		return a
+	}
+	out.Sum = a.Sum + b.Sum
+	out.Count = a.Count + b.Count
+	out.Min = a.Min
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	out.Max = a.Max
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// Avg returns Sum/Count (0 for an empty aggregate).
+func (a Agg) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Range is an inclusive coordinate interval in one dimension, the paper's
+// (f, t) pair of a condition.
+type Range struct {
+	From, To uint32
+}
+
+// Width returns the number of coordinates covered.
+func (r Range) Width() int64 {
+	if r.To < r.From {
+		return 0
+	}
+	return int64(r.To) - int64(r.From) + 1
+}
+
+// Box is an axis-aligned region of the cube: one Range per dimension,
+// expressed in the cube's own level coordinates.
+type Box []Range
+
+// Cells returns the number of cells the box covers (the sub-cube size of
+// eq. (3) divided by E_size).
+func (b Box) Cells() int64 {
+	n := int64(1)
+	for _, r := range b {
+		n *= r.Width()
+	}
+	return n
+}
+
+// Bytes returns the sub-cube size in bytes (eq. (3)).
+func (b Box) Bytes() int64 { return b.Cells() * CellSize }
+
+// validate clamps/checks the box against cube cardinalities.
+func (b Box) validate(cards []int) error {
+	if len(b) != len(cards) {
+		return fmt.Errorf("cube: box has %d dimensions, cube has %d", len(b), len(cards))
+	}
+	for d, r := range b {
+		if r.To < r.From {
+			return fmt.Errorf("cube: inverted range %v in dimension %d", r, d)
+		}
+		if int64(r.To) >= int64(cards[d]) {
+			return fmt.Errorf("cube: range %v exceeds cardinality %d in dimension %d", r, cards[d], d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package cube
+
+import "sort"
+
+// CompressThreshold is the fill factor below which a chunk is stored in
+// chunk-offset compressed form. Zhao, Deshpande & Naughton "compress arrays
+// that have less than 40% of their cells filled ... using a chunk-offset
+// compression" (Sec. II-B); we follow the same rule.
+const CompressThreshold = 0.40
+
+// chunk is one n-dimensional tile of the cube. Exactly one of dense or
+// (offsets, cells) is populated; a nil chunk means entirely empty.
+type chunk struct {
+	dense []Cell // row-major local cells, len = side^N
+
+	// Chunk-offset compression: offsets are sorted local offsets of the
+	// filled cells, cells the matching aggregates.
+	offsets []uint32
+	cells   []Cell
+
+	filled int // number of non-empty cells
+}
+
+// isDense reports the storage form.
+func (c *chunk) isDense() bool { return c.dense != nil }
+
+// get returns the cell at the local offset (zero Cell when empty).
+func (c *chunk) get(off uint32) Cell {
+	if c == nil {
+		return Cell{}
+	}
+	if c.dense != nil {
+		return c.dense[off]
+	}
+	i := sort.Search(len(c.offsets), func(k int) bool { return c.offsets[k] >= off })
+	if i < len(c.offsets) && c.offsets[i] == off {
+		return c.cells[i]
+	}
+	return Cell{}
+}
+
+// bytes returns the storage footprint of the chunk.
+func (c *chunk) bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	if c.dense != nil {
+		return int64(len(c.dense)) * CellSize
+	}
+	return int64(len(c.offsets))*4 + int64(len(c.cells))*CellSize
+}
+
+// compress converts a dense chunk to chunk-offset form when its fill factor
+// is below CompressThreshold. Returns the possibly-replaced chunk.
+func (c *chunk) compress() *chunk {
+	if c == nil || c.dense == nil {
+		return c
+	}
+	if c.filled == 0 {
+		return nil
+	}
+	if float64(c.filled) >= CompressThreshold*float64(len(c.dense)) {
+		return c
+	}
+	out := &chunk{
+		offsets: make([]uint32, 0, c.filled),
+		cells:   make([]Cell, 0, c.filled),
+		filled:  c.filled,
+	}
+	for off, cell := range c.dense {
+		if cell.Count != 0 {
+			out.offsets = append(out.offsets, uint32(off))
+			out.cells = append(out.cells, cell)
+		}
+	}
+	return out
+}
+
+// decompress converts a compressed chunk back to dense form (used when a
+// compressed chunk receives enough new cells during incremental builds).
+func (c *chunk) decompress(volume int) *chunk {
+	if c == nil {
+		return &chunk{dense: make([]Cell, volume)}
+	}
+	if c.dense != nil {
+		return c
+	}
+	out := &chunk{dense: make([]Cell, volume), filled: c.filled}
+	for i, off := range c.offsets {
+		out.dense[off] = c.cells[i]
+	}
+	return out
+}

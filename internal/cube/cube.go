@@ -1,0 +1,365 @@
+package cube
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hybridolap/internal/table"
+)
+
+// DefaultChunkSide is the per-dimension side of a chunk. The paper's [20]
+// sizes chunks to the disk blocking factor; in memory we size them so a
+// chunk (16^3 cells × 32 B = 128 KiB for 3 dims) streams well through the
+// cache hierarchy.
+const DefaultChunkSide = 16
+
+// Cube is a dense array-based MOLAP cube at one resolution level, chunked
+// into side^N tiles.
+type Cube struct {
+	level int   // scalar resolution level (paper Fig. 1)
+	cards []int // cardinality per dimension at this level
+	side  int   // chunk side
+	grid  []int // chunks per dimension
+	vol   int   // side^N, cells per chunk
+
+	chunks []*chunk
+
+	measure int   // fact-table measure index the cells aggregate
+	filled  int64 // non-empty cells
+	rows    int64 // fact rows aggregated into the cube
+}
+
+// Config controls cube construction.
+type Config struct {
+	// ChunkSide overrides DefaultChunkSide when > 0.
+	ChunkSide int
+	// Workers sets build parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Compress enables the 40% chunk-offset compression pass (on by
+	// default through Build*; set by callers of newCube directly).
+	Compress bool
+}
+
+// newCube allocates cube geometry with all chunks empty.
+func newCube(level int, cards []int, side int) (*Cube, error) {
+	if len(cards) == 0 {
+		return nil, fmt.Errorf("cube: no dimensions")
+	}
+	if side <= 0 {
+		side = DefaultChunkSide
+	}
+	c := &Cube{level: level, cards: append([]int(nil), cards...), side: side}
+	c.grid = make([]int, len(cards))
+	nChunks := 1
+	vol := 1
+	for d, card := range cards {
+		if card <= 0 {
+			return nil, fmt.Errorf("cube: cardinality %d in dimension %d", card, d)
+		}
+		c.grid[d] = (card + side - 1) / side
+		nChunks *= c.grid[d]
+		vol *= side
+	}
+	c.vol = vol
+	c.chunks = make([]*chunk, nChunks)
+	return c, nil
+}
+
+// Level returns the cube's resolution level.
+func (c *Cube) Level() int { return c.level }
+
+// Measure returns the fact-table measure index the cube aggregates.
+func (c *Cube) Measure() int { return c.measure }
+
+// Cards returns the per-dimension cardinalities (do not modify).
+func (c *Cube) Cards() []int { return c.cards }
+
+// Dims returns the number of dimensions.
+func (c *Cube) Dims() int { return len(c.cards) }
+
+// FilledCells returns the number of non-empty cells.
+func (c *Cube) FilledCells() int64 { return c.filled }
+
+// Rows returns the number of fact rows aggregated into the cube.
+func (c *Cube) Rows() int64 { return c.rows }
+
+// LogicalCells returns the total addressable cells (product of cards).
+func (c *Cube) LogicalCells() int64 {
+	n := int64(1)
+	for _, card := range c.cards {
+		n *= int64(card)
+	}
+	return n
+}
+
+// LogicalBytes returns the uncompressed cube size: LogicalCells × CellSize.
+// This is the "cube size" axis of the paper's Figs. 1 and 3.
+func (c *Cube) LogicalBytes() int64 { return c.LogicalCells() * CellSize }
+
+// StorageBytes returns the actual in-memory footprint after compression.
+func (c *Cube) StorageBytes() int64 {
+	var n int64
+	for _, ch := range c.chunks {
+		n += ch.bytes()
+	}
+	return n
+}
+
+// FillFactor returns filled / logical cells.
+func (c *Cube) FillFactor() float64 {
+	lc := c.LogicalCells()
+	if lc == 0 {
+		return 0
+	}
+	return float64(c.filled) / float64(lc)
+}
+
+// chunkOf returns the chunk grid index and local offset for global coords.
+func (c *Cube) chunkOf(coords []uint32) (chunkIdx int, localOff uint32) {
+	for d, x := range coords {
+		g := int(x) / c.side
+		l := int(x) % c.side
+		chunkIdx = chunkIdx*c.grid[d] + g
+		localOff = localOff*uint32(c.side) + uint32(l)
+	}
+	return chunkIdx, localOff
+}
+
+// Get returns the cell at global coordinates (zero Cell when empty or out
+// of range).
+func (c *Cube) Get(coords []uint32) Cell {
+	if len(coords) != len(c.cards) {
+		return Cell{}
+	}
+	for d, x := range coords {
+		if int(x) >= c.cards[d] {
+			return Cell{}
+		}
+	}
+	ci, off := c.chunkOf(coords)
+	return c.chunks[ci].get(off)
+}
+
+// add folds a measure value into the cell at coords, allocating the dense
+// chunk on demand (and decompressing if needed).
+func (c *Cube) add(coords []uint32, v float64) {
+	ci, off := c.chunkOf(coords)
+	ch := c.chunks[ci]
+	if ch == nil || !ch.isDense() {
+		ch = ch.decompress(c.vol)
+		c.chunks[ci] = ch
+	}
+	cell := &ch.dense[off]
+	if cell.Count == 0 {
+		ch.filled++
+		c.filled++
+	}
+	cell.add(v)
+	c.rows++
+}
+
+// compressAll applies the 40% rule to every chunk.
+func (c *Cube) compressAll() {
+	for i, ch := range c.chunks {
+		c.chunks[i] = ch.compress()
+	}
+}
+
+// mergeFrom folds another cube with identical geometry into c.
+func (c *Cube) mergeFrom(o *Cube) error {
+	if len(o.cards) != len(c.cards) || o.side != c.side {
+		return fmt.Errorf("cube: merge geometry mismatch")
+	}
+	for d := range c.cards {
+		if c.cards[d] != o.cards[d] {
+			return fmt.Errorf("cube: merge cardinality mismatch in dimension %d", d)
+		}
+	}
+	for i, och := range o.chunks {
+		if och == nil {
+			continue
+		}
+		ch := c.chunks[i]
+		if ch == nil || !ch.isDense() {
+			ch = ch.decompress(c.vol)
+			c.chunks[i] = ch
+		}
+		fold := func(off uint32, cell Cell) {
+			dst := &ch.dense[off]
+			if dst.Count == 0 && cell.Count != 0 {
+				ch.filled++
+				c.filled++
+			}
+			dst.merge(cell)
+		}
+		if och.isDense() {
+			for off, cell := range och.dense {
+				if cell.Count != 0 {
+					fold(uint32(off), cell)
+				}
+			}
+		} else {
+			for k, off := range och.offsets {
+				fold(off, och.cells[k])
+			}
+		}
+	}
+	c.rows += o.rows
+	return nil
+}
+
+// levelCards returns per-dimension cardinalities of a fact-table schema at
+// scalar resolution level (clamped to each dimension's finest level).
+func levelCards(s *table.Schema, level int) []int {
+	cards := make([]int, len(s.Dimensions))
+	for d, dim := range s.Dimensions {
+		l := level
+		if l > dim.Finest() {
+			l = dim.Finest()
+		}
+		cards[d] = dim.Levels[l].Cardinality
+	}
+	return cards
+}
+
+// BuildFromTable aggregates a fact table into a cube at the given scalar
+// resolution level, summing the named measure. Workers > 1 partitions the
+// rows statically, builds partial cubes and merges them — the same
+// fork/join shape as the paper's OpenMP build.
+func BuildFromTable(ft *table.FactTable, level, measure int, cfg Config) (*Cube, error) {
+	s := ft.Schema()
+	if measure < 0 || measure >= len(s.Measures) {
+		return nil, fmt.Errorf("cube: measure %d out of range", measure)
+	}
+	if level < 0 {
+		return nil, fmt.Errorf("cube: negative level %d", level)
+	}
+	cards := levelCards(s, level)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ft.Rows() && ft.Rows() > 0 {
+		workers = ft.Rows()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Per-dimension level index used for row coordinates.
+	lvlOf := make([]int, len(s.Dimensions))
+	for d, dim := range s.Dimensions {
+		lvlOf[d] = level
+		if lvlOf[d] > dim.Finest() {
+			lvlOf[d] = dim.Finest()
+		}
+	}
+	meas := ft.MeasureColumn(measure)
+
+	buildPart := func(lo, hi int) (*Cube, error) {
+		part, err := newCube(level, cards, cfg.ChunkSide)
+		if err != nil {
+			return nil, err
+		}
+		coords := make([]uint32, len(cards))
+		for r := lo; r < hi; r++ {
+			for d := range cards {
+				coords[d] = ft.CoordAt(r, d, lvlOf[d])
+			}
+			part.add(coords, meas[r])
+		}
+		return part, nil
+	}
+
+	if workers == 1 {
+		c, err := buildPart(0, ft.Rows())
+		if err != nil {
+			return nil, err
+		}
+		c.measure = measure
+		c.compressAll()
+		return c, nil
+	}
+
+	parts := make([]*Cube, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	stripe := (ft.Rows() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > ft.Rows() {
+			hi = ft.Rows()
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w], errs[w] = buildPart(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out *Cube
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if parts[w] == nil {
+			continue
+		}
+		if out == nil {
+			out = parts[w]
+			continue
+		}
+		if err := out.mergeFrom(parts[w]); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		out, _ = newCube(level, cards, cfg.ChunkSide)
+	}
+	out.measure = measure
+	out.compressAll()
+	return out, nil
+}
+
+// BuildSynthetic creates a cube of the given geometry with approximately
+// fill×cells non-empty cells carrying pseudo-random aggregates. It exists
+// for bandwidth benchmarks (paper Fig. 3) where cube *size* matters and
+// provenance does not. fill is clamped to [0, 1].
+func BuildSynthetic(level int, cards []int, fill float64, seed int64, cfg Config) (*Cube, error) {
+	c, err := newCube(level, cards, cfg.ChunkSide)
+	if err != nil {
+		return nil, err
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]uint32, len(cards))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(cards) {
+			if rng.Float64() < fill {
+				c.add(coords, rng.Float64()*100)
+			}
+			return
+		}
+		for x := 0; x < cards[d]; x++ {
+			coords[d] = uint32(x)
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	if cfg.Compress {
+		c.compressAll()
+	}
+	return c, nil
+}

@@ -1,0 +1,146 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"hybridolap/internal/table"
+)
+
+func TestAggregateGroupsMatchesBruteForce(t *testing.T) {
+	ft := genTable(t, 2500, 51)
+	c, err := BuildFromTable(ft, 1, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group level-1 cube cells by level-0 coordinates of dimension 0
+	// (month -> year, ratio 12) over a sub-box.
+	box := Box{{0, 35}, {5, 40}}
+	m, err := c.AggregateGroups(box, []GroupSpec{{Dim: 0, Ratio: 12}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force from fact rows.
+	want := map[uint32]Agg{}
+	meas := ft.MeasureColumn(0)
+	for r := 0; r < ft.Rows(); r++ {
+		mth := ft.CoordAt(r, 0, 1)
+		city := ft.CoordAt(r, 1, 1)
+		if mth > 35 || city < 5 || city > 40 {
+			continue
+		}
+		var cell Cell
+		cell.add(meas[r])
+		a := want[mth/12]
+		a.fold(cell)
+		want[mth/12] = a
+	}
+	if len(m) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(m), len(want))
+	}
+	for k, a := range m {
+		w := want[uint32(k)]
+		if !aggEqual(a, w) {
+			t.Fatalf("group %d: %+v vs %+v", k, a, w)
+		}
+	}
+}
+
+func TestAggregateGroupsParallelEqualsSequential(t *testing.T) {
+	ft := genTable(t, 3000, 52)
+	c, _ := BuildFromTable(ft, 1, 0, Config{})
+	box := Box{{0, 35}, {0, 49}}
+	specs := []GroupSpec{{Dim: 0, Ratio: 12}, {Dim: 1, Ratio: 10}}
+	seq, err := c.AggregateGroups(box, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 5, 9} {
+		par, err := c.AggregateGroups(box, specs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d groups vs %d", w, len(par), len(seq))
+		}
+		for k, a := range seq {
+			if !aggEqual(a, par[k]) {
+				t.Fatalf("workers=%d group %d: %+v vs %+v", w, k, par[k], a)
+			}
+		}
+	}
+}
+
+func TestAggregateGroupsOnCompressedCube(t *testing.T) {
+	ft := genTable(t, 80, 53) // sparse level-1 cube -> compressed chunks
+	c, _ := BuildFromTable(ft, 1, 0, Config{})
+	m, err := c.AggregateGroups(Box{{0, 35}, {0, 49}}, []GroupSpec{{Dim: 0, Ratio: 12}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int64
+	for _, a := range m {
+		rows += a.Count
+	}
+	if rows != 80 {
+		t.Fatalf("rows = %d, want 80", rows)
+	}
+}
+
+func TestAggregateGroupsValidation(t *testing.T) {
+	ft := genTable(t, 50, 54)
+	c, _ := BuildFromTable(ft, 0, 0, Config{})
+	box := Box{{0, 2}, {0, 4}}
+	if _, err := c.AggregateGroups(box, nil, 1); err == nil {
+		t.Fatal("empty specs accepted")
+	}
+	if _, err := c.AggregateGroups(box, []GroupSpec{{Dim: 9, Ratio: 1}}, 1); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+	if _, err := c.AggregateGroups(box, []GroupSpec{{Dim: 0, Ratio: 0}}, 1); err == nil {
+		t.Fatal("zero ratio accepted")
+	}
+	if _, err := c.AggregateGroups(Box{{0, 99}, {0, 0}}, []GroupSpec{{Dim: 0, Ratio: 1}}, 1); err == nil {
+		t.Fatal("bad box accepted")
+	}
+}
+
+func TestSetAggregateGroups(t *testing.T) {
+	ft := genTable(t, 2000, 55)
+	set, err := BuildSet(ft, []int{0, 1}, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level-0 conditions, grouped at level 1 of dim 1: needs the level-1
+	// cube even though the conditions are coarse.
+	box := Box{{0, 2}, {0, 4}} // level-0 coords
+	m, err := set.AggregateGroups(box, 0, []GroupLevel{{Dim: 1, Level: 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconcile each group with a scalar aggregate.
+	for k, a := range m {
+		city := uint32(k)
+		scalar, _, err := set.Aggregate(Box{{0, 35}, {city, city}}, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Count != scalar.Count || math.Abs(a.Sum-scalar.Sum) > 1e-9 {
+			t.Fatalf("group %d: %+v vs %+v", city, a, scalar)
+		}
+	}
+	// Grouping finer than any stored level fails.
+	set0, _ := BuildSet(ft, []int{0}, 0, Config{})
+	if _, err := set0.AggregateGroups(box, 0, []GroupLevel{{Dim: 1, Level: 1}}, 1); err == nil {
+		t.Fatal("too-fine grouping accepted")
+	}
+	// Virtual level cannot answer grouped queries.
+	setV, _ := BuildSet(ft, []int{0}, 0, Config{})
+	if err := setV.AddVirtual(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setV.AggregateGroups(box, 0, []GroupLevel{{Dim: 1, Level: 1}}, 1); err == nil {
+		t.Fatal("virtual level accepted for grouped aggregate")
+	}
+	_ = table.MaxGroupCols
+}

@@ -1,0 +1,165 @@
+package cube
+
+import (
+	"fmt"
+	"io"
+
+	"hybridolap/internal/binio"
+)
+
+// Persistence format: magic, version, geometry, then one record per chunk
+// (empty, dense or chunk-offset compressed), with a trailing CRC-32.
+const (
+	cubeMagic   = "HOLC"
+	cubeVersion = 1
+
+	chunkEmpty      = 0
+	chunkDense      = 1
+	chunkCompressed = 2
+)
+
+// Save writes the cube to w.
+func (c *Cube) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.String(cubeMagic)
+	bw.U16(cubeVersion)
+	bw.U32(uint32(c.level))
+	bw.U32(uint32(c.measure))
+	bw.U32(uint32(c.side))
+	bw.U32(uint32(len(c.cards)))
+	for _, card := range c.cards {
+		bw.U64(uint64(card))
+	}
+	bw.I64(c.filled)
+	bw.I64(c.rows)
+	bw.U64(uint64(len(c.chunks)))
+	writeCell := func(cell Cell) {
+		bw.F64(cell.Sum)
+		bw.I64(cell.Count)
+		bw.F64(cell.Min)
+		bw.F64(cell.Max)
+	}
+	for _, ch := range c.chunks {
+		switch {
+		case ch == nil:
+			bw.U8(chunkEmpty)
+		case ch.isDense():
+			bw.U8(chunkDense)
+			bw.U32(uint32(ch.filled))
+			for _, cell := range ch.dense {
+				writeCell(cell)
+			}
+		default:
+			bw.U8(chunkCompressed)
+			bw.U32(uint32(ch.filled))
+			bw.U32s(ch.offsets)
+			for _, cell := range ch.cells {
+				writeCell(cell)
+			}
+		}
+	}
+	return bw.Sum()
+}
+
+// LoadCube reads a cube written by Save.
+func LoadCube(r io.Reader) (*Cube, error) {
+	br := binio.NewReader(r)
+	if magic := br.String(); magic != cubeMagic {
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		return nil, fmt.Errorf("cube: bad magic %q", magic)
+	}
+	if v := br.U16(); v != cubeVersion {
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		return nil, fmt.Errorf("cube: unsupported version %d", v)
+	}
+	level := int(br.U32())
+	measure := int(br.U32())
+	side := int(br.U32())
+	nd := int(br.U32())
+	if br.Err() != nil {
+		return nil, br.Err()
+	}
+	if nd == 0 || nd > 64 || side <= 0 || side > 1<<16 {
+		return nil, fmt.Errorf("cube: implausible geometry (dims=%d side=%d)", nd, side)
+	}
+	cards := make([]int, nd)
+	for i := range cards {
+		cards[i] = int(br.U64())
+	}
+	if br.Err() != nil {
+		return nil, br.Err()
+	}
+	c, err := newCube(level, cards, side)
+	if err != nil {
+		return nil, err
+	}
+	c.measure = measure
+	c.filled = br.I64()
+	c.rows = br.I64()
+	nChunks := int(br.U64())
+	if br.Err() != nil {
+		return nil, br.Err()
+	}
+	if nChunks != len(c.chunks) {
+		return nil, fmt.Errorf("cube: file has %d chunks, geometry implies %d", nChunks, len(c.chunks))
+	}
+	readCell := func() Cell {
+		return Cell{Sum: br.F64(), Count: br.I64(), Min: br.F64(), Max: br.F64()}
+	}
+	var checkFilled int64
+	for i := 0; i < nChunks; i++ {
+		switch kind := br.U8(); kind {
+		case chunkEmpty:
+		case chunkDense:
+			filled := int(br.U32())
+			ch := &chunk{dense: make([]Cell, c.vol), filled: filled}
+			for j := range ch.dense {
+				ch.dense[j] = readCell()
+			}
+			if br.Err() != nil {
+				return nil, br.Err()
+			}
+			c.chunks[i] = ch
+			checkFilled += int64(filled)
+		case chunkCompressed:
+			filled := int(br.U32())
+			offsets := br.U32s(c.vol)
+			if br.Err() != nil {
+				return nil, br.Err()
+			}
+			cells := make([]Cell, len(offsets))
+			for j := range cells {
+				cells[j] = readCell()
+			}
+			if br.Err() != nil {
+				return nil, br.Err()
+			}
+			for j := 1; j < len(offsets); j++ {
+				if offsets[j] <= offsets[j-1] {
+					return nil, fmt.Errorf("cube: chunk %d offsets not strictly increasing", i)
+				}
+			}
+			if len(offsets) > 0 && int(offsets[len(offsets)-1]) >= c.vol {
+				return nil, fmt.Errorf("cube: chunk %d offset out of range", i)
+			}
+			c.chunks[i] = &chunk{offsets: offsets, cells: cells, filled: filled}
+			checkFilled += int64(filled)
+		default:
+			if br.Err() != nil {
+				return nil, br.Err()
+			}
+			return nil, fmt.Errorf("cube: unknown chunk kind %d", kind)
+		}
+	}
+	if err := br.CheckSum(); err != nil {
+		return nil, err
+	}
+	if checkFilled != c.filled {
+		return nil, fmt.Errorf("cube: chunk fill sum %d disagrees with header %d", checkFilled, c.filled)
+	}
+	return c, nil
+}

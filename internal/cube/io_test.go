@@ -1,0 +1,124 @@
+package cube
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCubeSaveLoadRoundTrip(t *testing.T) {
+	ft := genTable(t, 1500, 71)
+	orig, err := BuildFromTable(ft, 1, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubesEquivalent(t, got, orig)
+	if got.Measure() != orig.Measure() || got.StorageBytes() != orig.StorageBytes() {
+		t.Fatalf("metadata differs: measure %d/%d storage %d/%d",
+			got.Measure(), orig.Measure(), got.StorageBytes(), orig.StorageBytes())
+	}
+	// Aggregates agree.
+	box := Box{{3, 30}, {5, 44}}
+	a, err := orig.Aggregate(box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Aggregate(box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggEqual(a, b) {
+		t.Fatalf("aggregate differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestCubeSaveLoadMixedChunkKinds(t *testing.T) {
+	// A cube with dense, compressed and empty chunks.
+	c, err := newCube(0, []int{48, 48}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill chunk (0,0) fully -> dense.
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			c.add([]uint32{x, y}, 1)
+		}
+	}
+	// Two cells in chunk (1,1) -> compressed.
+	c.add([]uint32{17, 18}, 5)
+	c.add([]uint32{20, 30}, 7)
+	c.compressAll()
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubesEquivalent(t, got, c)
+	if got.chunks[0] == nil || !got.chunks[0].isDense() {
+		t.Fatal("dense chunk lost its form")
+	}
+	var comp *chunk
+	for _, ch := range got.chunks {
+		if ch != nil && !ch.isDense() {
+			comp = ch
+		}
+	}
+	if comp == nil || len(comp.offsets) != 2 {
+		t.Fatal("compressed chunk lost its form")
+	}
+}
+
+func TestCubeLoadRejectsCorruption(t *testing.T) {
+	ft := genTable(t, 200, 72)
+	orig, _ := BuildFromTable(ft, 0, 0, Config{})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	tampered := append([]byte(nil), data...)
+	tampered[len(tampered)-9] ^= 0xFF
+	if _, err := LoadCube(bytes.NewReader(tampered)); err == nil {
+		t.Fatal("corrupted cube accepted")
+	}
+	if _, err := LoadCube(bytes.NewReader(data[:10])); err == nil {
+		t.Fatal("truncated cube accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[4] = 'Z'
+	if _, err := LoadCube(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCubeLoadValidatesGeometry(t *testing.T) {
+	// Hand-build a header with an impossible chunk count by saving a real
+	// cube and flipping the chunk-count field... simpler: corrupt via the
+	// header's side field and rely on validation or checksum.
+	ft := genTable(t, 100, 73)
+	orig, _ := BuildFromTable(ft, 0, 0, Config{})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The side field sits after magic(4+4) + version(2) + level(4) +
+	// measure(4) = offset 18.
+	data[18] = 0xFF
+	data[19] = 0xFF
+	if _, err := LoadCube(bytes.NewReader(data)); err == nil {
+		t.Fatal("tampered geometry accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package cube
+
+import (
+	"testing"
+)
+
+func TestLatticeMatchesIceberg(t *testing.T) {
+	// With minSup=1 the BUC iceberg is the full lattice: both structures
+	// must agree cell for cell.
+	ft := genTable(t, 400, 111)
+	lat, err := BuildLattice(ft, 0, 0, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := BuildIceberg(ft, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.NumCells() != ic.NumCells() {
+		t.Fatalf("cells: lattice %d vs iceberg %d", lat.NumCells(), ic.NumCells())
+	}
+	// Spot-check every cell of every mask via iceberg enumeration is
+	// awkward; instead probe a dense grid of coordinate combinations.
+	for y := int32(-1); y < 3; y++ {
+		for r := int32(-1); r < 5; r++ {
+			coords := []int32{y, r}
+			a, aok := lat.Get(coords)
+			b, bok := ic.Get(coords)
+			if aok != bok {
+				t.Fatalf("cell %v: lattice ok=%v iceberg ok=%v", coords, aok, bok)
+			}
+			if aok && !aggEqual(a, b) {
+				t.Fatalf("cell %v: %+v vs %+v", coords, a, b)
+			}
+		}
+	}
+	if lat.Apex().Count != 400 {
+		t.Fatalf("apex = %+v", lat.Apex())
+	}
+}
+
+func TestLatticeParallelEqualsSequential(t *testing.T) {
+	ft := genTable(t, 1000, 112)
+	seq, err := BuildLattice(ft, 1, 0, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildLattice(ft, 1, 0, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumCells() != par.NumCells() {
+		t.Fatalf("cells %d vs %d", seq.NumCells(), par.NumCells())
+	}
+	for y := int32(-1); y < 36; y += 7 {
+		for c := int32(-1); c < 50; c += 11 {
+			a, aok := seq.Get([]int32{y, c})
+			b, bok := par.Get([]int32{y, c})
+			if aok != bok || (aok && !aggEqual(a, b)) {
+				t.Fatalf("cell (%d,%d) differs", y, c)
+			}
+		}
+	}
+}
+
+func TestLatticeSmallestParentSavesWork(t *testing.T) {
+	// Aggregating from parents must touch far fewer cells than recomputing
+	// every group-by from the fact table (naive cost = 2^N × rows).
+	ft := genTable(t, 5000, 113)
+	lat, err := BuildLattice(ft, 1, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := int64(4 * 5000) // 2^2 group-bys × rows
+	if lat.CellsAggregated() >= naive {
+		t.Fatalf("smallest-parent did not save work: %d >= %d", lat.CellsAggregated(), naive)
+	}
+}
+
+func TestLatticeValidation(t *testing.T) {
+	ft := genTable(t, 10, 114)
+	if _, err := BuildLattice(ft, 0, 9, Config{}); err == nil {
+		t.Fatal("bad measure accepted")
+	}
+	lat, _ := BuildLattice(ft, 0, 0, Config{})
+	if _, ok := lat.Get([]int32{0}); ok {
+		t.Fatal("wrong-arity Get accepted")
+	}
+	if _, ok := lat.Get([]int32{99, 99}); ok {
+		t.Fatal("phantom cell found")
+	}
+}
+
+func BenchmarkBuildLattice(b *testing.B) {
+	ft := genTable(b, 50_000, 115)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLattice(ft, 1, 0, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

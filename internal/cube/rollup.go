@@ -1,0 +1,139 @@
+package cube
+
+import (
+	"fmt"
+
+	"hybridolap/internal/table"
+)
+
+// Rollup derives a coarser cube from a finer one without rescanning the
+// fact table — the "smallest parent" computation of Zhao, Deshpande &
+// Naughton [20] and Gray et al. [5] that the paper's Sec. II-B surveys:
+// "compute any group-by of a cube from its parent". Each fine cell's
+// aggregate folds into the coarse cell it rolls up to; sums, counts, mins
+// and maxes all compose exactly, so a rolled-up cube is indistinguishable
+// from one built directly from the fact table.
+//
+// toLevel must be coarser than (or equal to) the source cube's level.
+func Rollup(src *Cube, s *table.Schema, toLevel int, cfg Config) (*Cube, error) {
+	if toLevel < 0 {
+		return nil, fmt.Errorf("cube: negative rollup level %d", toLevel)
+	}
+	if toLevel > src.Level() {
+		return nil, fmt.Errorf("cube: cannot roll level-%d cube up to finer level %d", src.Level(), toLevel)
+	}
+	wantSrc := levelCards(s, src.Level())
+	for d, card := range wantSrc {
+		if src.Cards()[d] != card {
+			return nil, fmt.Errorf("cube: source cube does not match schema at level %d (dim %d: %d vs %d)",
+				src.Level(), d, src.Cards()[d], card)
+		}
+	}
+	dstCards := levelCards(s, toLevel)
+	dst, err := newCube(toLevel, dstCards, cfg.ChunkSide)
+	if err != nil {
+		return nil, err
+	}
+	dst.measure = src.measure
+
+	// ratio[d] fine coordinates collapse into one coarse coordinate.
+	ratio := make([]uint32, len(dstCards))
+	for d := range dstCards {
+		ratio[d] = uint32(wantSrc[d] / dstCards[d])
+	}
+
+	n := len(src.Cards())
+	fine := make([]uint32, n)
+	coarse := make([]uint32, n)
+	fold := func(chunkIdx int, off uint32, cell Cell) {
+		// Decode the global fine coordinates of (chunkIdx, off).
+		ci := chunkIdx
+		o := int(off)
+		for d := n - 1; d >= 0; d-- {
+			local := uint32(o % src.side)
+			o /= src.side
+			gc := uint32(ci % src.grid[d])
+			ci /= src.grid[d]
+			fine[d] = gc*uint32(src.side) + local
+		}
+		for d := 0; d < n; d++ {
+			coarse[d] = fine[d] / ratio[d]
+		}
+		dst.addCell(coarse, cell)
+	}
+	for idx, ch := range src.chunks {
+		if ch == nil {
+			continue
+		}
+		if ch.isDense() {
+			for off, cell := range ch.dense {
+				if cell.Count != 0 {
+					fold(idx, uint32(off), cell)
+				}
+			}
+		} else {
+			for k, off := range ch.offsets {
+				fold(idx, off, ch.cells[k])
+			}
+		}
+	}
+	dst.rows = src.rows
+	dst.compressAll()
+	return dst, nil
+}
+
+// addCell folds a whole aggregate cell (not a single value) into the cube.
+func (c *Cube) addCell(coords []uint32, cell Cell) {
+	ci, off := c.chunkOf(coords)
+	ch := c.chunks[ci]
+	if ch == nil || !ch.isDense() {
+		ch = ch.decompress(c.vol)
+		c.chunks[ci] = ch
+	}
+	dst := &ch.dense[off]
+	if dst.Count == 0 && cell.Count != 0 {
+		ch.filled++
+		c.filled++
+	}
+	dst.merge(cell)
+}
+
+// BuildSetByRollup pre-calculates a cube set the smallest-parent way: the
+// finest requested level is aggregated from the fact table once, and each
+// coarser level rolls up from the next finer one. For k levels this scans
+// the fact table once instead of k times — the optimisation the paper's
+// [20] is cited for.
+func BuildSetByRollup(ft *table.FactTable, levels []int, measure int, cfg Config) (*Set, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cube: no levels requested")
+	}
+	sorted := append([]int(nil), levels...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; level lists are tiny
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	s := NewSet(ft.Schema())
+	finest := sorted[len(sorted)-1]
+	parent, err := BuildFromTable(ft, finest, measure, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Add(parent); err != nil {
+		return nil, err
+	}
+	for i := len(sorted) - 2; i >= 0; i-- {
+		if sorted[i] == sorted[i+1] {
+			continue
+		}
+		c, err := Rollup(parent, ft.Schema(), sorted[i], cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Add(c); err != nil {
+			return nil, err
+		}
+		parent = c
+	}
+	return s, nil
+}

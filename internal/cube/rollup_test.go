@@ -1,0 +1,176 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cubesEquivalent compares two cubes cell by cell.
+func cubesEquivalent(t *testing.T, a, b *Cube) {
+	t.Helper()
+	if a.Level() != b.Level() || a.FilledCells() != b.FilledCells() || a.Rows() != b.Rows() {
+		t.Fatalf("cube metadata differs: level %d/%d filled %d/%d rows %d/%d",
+			a.Level(), b.Level(), a.FilledCells(), b.FilledCells(), a.Rows(), b.Rows())
+	}
+	cards := a.Cards()
+	coords := make([]uint32, len(cards))
+	var walk func(d int)
+	var bad bool
+	walk = func(d int) {
+		if bad {
+			return
+		}
+		if d == len(cards) {
+			ca, cb := a.Get(coords), b.Get(coords)
+			if ca.Count != cb.Count || ca.Min != cb.Min || ca.Max != cb.Max ||
+				ca.Sum-cb.Sum > 1e-6 || cb.Sum-ca.Sum > 1e-6 {
+				t.Errorf("cell %v differs: %+v vs %+v", coords, ca, cb)
+				bad = true
+			}
+			return
+		}
+		for x := 0; x < cards[d]; x++ {
+			coords[d] = uint32(x)
+			walk(d + 1)
+		}
+	}
+	walk(0)
+}
+
+func TestRollupEqualsDirectBuild(t *testing.T) {
+	ft := genTable(t, 4000, 31)
+	fine, err := BuildFromTable(ft, 1, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rolled, err := Rollup(fine, ft.Schema(), 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := BuildFromTable(ft, 0, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubesEquivalent(t, rolled, direct)
+}
+
+func TestRollupSameLevelIsIdentity(t *testing.T) {
+	ft := genTable(t, 1000, 32)
+	fine, _ := BuildFromTable(ft, 1, 0, Config{})
+	same, err := Rollup(fine, ft.Schema(), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubesEquivalent(t, same, fine)
+}
+
+func TestRollupValidation(t *testing.T) {
+	ft := genTable(t, 100, 33)
+	coarse, _ := BuildFromTable(ft, 0, 0, Config{})
+	if _, err := Rollup(coarse, ft.Schema(), 1, Config{}); err == nil {
+		t.Fatal("rollup to finer level accepted")
+	}
+	if _, err := Rollup(coarse, ft.Schema(), -1, Config{}); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	// Geometry mismatch: synthetic cube not matching the schema.
+	syn, _ := BuildSynthetic(1, []int{5, 5}, 1, 1, Config{})
+	if _, err := Rollup(syn, ft.Schema(), 0, Config{}); err == nil {
+		t.Fatal("schema-mismatched cube accepted")
+	}
+}
+
+func TestRollupPreservesMeasure(t *testing.T) {
+	ft := genTable(t, 200, 34)
+	fine, _ := BuildFromTable(ft, 1, 0, Config{})
+	rolled, err := Rollup(fine, ft.Schema(), 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled.Measure() != fine.Measure() {
+		t.Fatalf("measure lost: %d vs %d", rolled.Measure(), fine.Measure())
+	}
+}
+
+func TestRollupFromCompressedSource(t *testing.T) {
+	// A sparse fine cube compresses its chunks; rollup must read them.
+	ft := genTable(t, 60, 35) // 60 rows in a 36x50 level-1 cube: sparse
+	fine, _ := BuildFromTable(ft, 1, 0, Config{})
+	if fine.StorageBytes() >= fine.LogicalBytes() {
+		t.Skip("fine cube unexpectedly dense; sparsity precondition failed")
+	}
+	rolled, err := Rollup(fine, ft.Schema(), 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := BuildFromTable(ft, 0, 0, Config{})
+	cubesEquivalent(t, rolled, direct)
+}
+
+func TestBuildSetByRollupEqualsDirect(t *testing.T) {
+	ft := genTable(t, 3000, 36)
+	viaRollup, err := BuildSetByRollup(ft, []int{1, 0}, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := BuildSet(ft, []int{0, 1}, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaRollup.Levels()) != 2 {
+		t.Fatalf("levels = %v", viaRollup.Levels())
+	}
+	// Random boxes agree between the two sets at both levels.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		level := rng.Intn(2)
+		c, _ := direct.Get(level)
+		cards := c.Cards()
+		box := make(Box, len(cards))
+		for d, card := range cards {
+			f := uint32(rng.Intn(card))
+			to := f + uint32(rng.Intn(card-int(f)))
+			box[d] = Range{f, to}
+		}
+		a, _, err := viaRollup.Aggregate(box, level, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := direct.Aggregate(box, level, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aggEqual(a, b) {
+			t.Fatalf("trial %d level %d box %v: %+v vs %+v", trial, level, box, a, b)
+		}
+	}
+}
+
+func TestBuildSetByRollupValidation(t *testing.T) {
+	ft := genTable(t, 10, 37)
+	if _, err := BuildSetByRollup(ft, nil, 0, Config{}); err == nil {
+		t.Fatal("empty level list accepted")
+	}
+	// Duplicate levels are deduplicated, not an error.
+	s, err := BuildSetByRollup(ft, []int{1, 1, 0}, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Levels()) != 2 {
+		t.Fatalf("levels = %v", s.Levels())
+	}
+}
+
+func BenchmarkRollup(b *testing.B) {
+	ft := genTable(b, 50_000, 38)
+	fine, err := BuildFromTable(ft, 1, 0, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Rollup(fine, ft.Schema(), 0, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

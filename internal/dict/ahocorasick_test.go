@@ -1,0 +1,196 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func newMatcher(t testing.TB, patterns ...string) *Matcher {
+	t.Helper()
+	sort.Strings(patterns)
+	m, err := NewMatcher(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatcherFindsClassicOverlaps(t *testing.T) {
+	// The canonical Aho-Corasick example: he/she/his/hers over "ushers".
+	m := newMatcher(t, "he", "she", "his", "hers")
+	got := m.FindAll("ushers")
+	// Expected matches: "she" ending at 4, "he" ending at 4, "hers" at 6.
+	found := map[string]bool{}
+	for _, mt := range got {
+		p, _ := m.Pattern(mt.Pattern)
+		found[fmt.Sprintf("%s@%d", p, mt.End)] = true
+	}
+	for _, want := range []string{"she@4", "he@4", "hers@6"} {
+		if !found[want] {
+			t.Fatalf("missing match %s; got %v", want, found)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("matches = %d, want 3", len(got))
+	}
+}
+
+func TestMatcherAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	letters := "abc"
+	randWord := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 100; trial++ {
+		seen := map[string]bool{}
+		var pats []string
+		for i := 0; i < rng.Intn(8)+1; i++ {
+			w := randWord(rng.Intn(3) + 1)
+			if !seen[w] {
+				seen[w] = true
+				pats = append(pats, w)
+			}
+		}
+		sort.Strings(pats)
+		m, err := NewMatcher(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := randWord(rng.Intn(30) + 1)
+		got := map[string]int{}
+		for _, mt := range m.FindAll(text) {
+			p, _ := m.Pattern(mt.Pattern)
+			got[fmt.Sprintf("%s@%d", p, mt.End)]++
+		}
+		want := map[string]int{}
+		for _, p := range pats {
+			for i := 0; i+len(p) <= len(text); i++ {
+				if text[i:i+len(p)] == p {
+					want[fmt.Sprintf("%s@%d", p, i+len(p))]++
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v (text %q pats %v)", trial, got, want, text, pats)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d: %s seen %d want %d", trial, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestMatcherValidation(t *testing.T) {
+	if _, err := NewMatcher([]string{"b", "a"}); err == nil {
+		t.Fatal("unsorted patterns accepted")
+	}
+	if _, err := NewMatcher([]string{"", "a"}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	m := newMatcher(t, "x")
+	if _, ok := m.Pattern(5); ok {
+		t.Fatal("invalid pattern id accepted")
+	}
+}
+
+func TestLookupBatchResolvesCodes(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	sort.Strings(words)
+	m, err := NewMatcher(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, _ := NewSorted(words)
+	lits := []string{"gamma", "alpha", "missing", "delta", "alph", "alphax"}
+	got := m.LookupBatch(lits)
+	for i, lit := range lits {
+		wantID, wantOK := sorted.Lookup(lit)
+		if wantOK {
+			if got[i] != wantID {
+				t.Fatalf("literal %q: batch %d, sorted %d", lit, got[i], wantID)
+			}
+		} else if got[i] != NotFound {
+			t.Fatalf("literal %q: batch found %d, want NotFound", lit, got[i])
+		}
+	}
+}
+
+func TestLookupBatchSubstringIsNotAMatch(t *testing.T) {
+	// "her" is in the dictionary but the literal is "hers": an exact-span
+	// check must reject the substring hit.
+	m := newMatcher(t, "her")
+	got := m.LookupBatch([]string{"hers", "her"})
+	if got[0] != NotFound {
+		t.Fatalf("substring matched: %v", got[0])
+	}
+	if got[1] == NotFound {
+		t.Fatal("exact literal missed")
+	}
+}
+
+func TestLookupBatchEmpty(t *testing.T) {
+	m := newMatcher(t, "a")
+	if got := m.LookupBatch(nil); len(got) != 0 {
+		t.Fatalf("batch of none = %v", got)
+	}
+	got := m.LookupBatch([]string{""})
+	if got[0] != NotFound {
+		t.Fatal("empty literal should be NotFound")
+	}
+}
+
+func TestLookupBatchAgreesWithHashOnRealisticData(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 500; i++ {
+		if _, err := b.Add(fmt.Sprintf("customer-%04d", i*7%500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hd, _, err := b.Build(KindHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]string, hd.Len())
+	for i := range entries {
+		entries[i], _ = hd.Decode(ID(i))
+	}
+	m, err := NewMatcher(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lits := []string{"customer-0007", "customer-0499", "customer-9999", "customer-0000"}
+	got := m.LookupBatch(lits)
+	for i, lit := range lits {
+		want, ok := hd.Lookup(lit)
+		if ok != (got[i] != NotFound) || (ok && got[i] != want) {
+			t.Fatalf("literal %q: batch %v, hash (%v,%v)", lit, got[i], want, ok)
+		}
+	}
+}
+
+func BenchmarkLookupBatchAC(b *testing.B) {
+	words := make([]string, 10000)
+	for i := range words {
+		words[i] = fmt.Sprintf("value-%08d", i)
+	}
+	m, err := NewMatcher(words)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lits := make([]string, 64)
+	for i := range lits {
+		lits[i] = words[(i*131)%len(words)]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LookupBatch(lits)
+	}
+}

@@ -1,0 +1,164 @@
+package dict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestFrontCodedAgreesWithSorted(t *testing.T) {
+	words := make([]string, 0, 500)
+	for i := 0; i < 500; i++ {
+		words = append(words, fmt.Sprintf("store_name-%06d", i*3))
+	}
+	sort.Strings(words)
+	fc, err := NewFrontCoded(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, _ := NewSorted(words)
+	if fc.Len() != so.Len() {
+		t.Fatalf("Len %d vs %d", fc.Len(), so.Len())
+	}
+	for i, w := range words {
+		id, ok := fc.Lookup(w)
+		if !ok || id != ID(i) {
+			t.Fatalf("Lookup(%q) = (%d,%v)", w, id, ok)
+		}
+		back, ok := fc.Decode(ID(i))
+		if !ok || back != w {
+			t.Fatalf("Decode(%d) = (%q,%v)", i, back, ok)
+		}
+	}
+	for _, probe := range []string{"", "store_name-000001", "zzz", "store_name-9"} {
+		a, aok := fc.Lookup(probe)
+		b, bok := so.Lookup(probe)
+		if aok != bok || a != b {
+			t.Fatalf("Lookup(%q): fc (%d,%v) vs sorted (%d,%v)", probe, a, aok, b, bok)
+		}
+	}
+}
+
+func TestFrontCodedLookupRangeAgreesWithSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	letters := "abcd"
+	randWord := func() string {
+		var sb strings.Builder
+		n := rng.Intn(5) + 1
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 200; trial++ {
+		seen := map[string]bool{}
+		var words []string
+		for i := 0; i < rng.Intn(40)+1; i++ {
+			w := randWord()
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+		}
+		sort.Strings(words)
+		fc, err := NewFrontCoded(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so, _ := NewSorted(words)
+		from, to := randWord(), randWord()
+		if from > to {
+			from, to = to, from
+		}
+		fl, fh, fok := fc.LookupRange(from, to)
+		sl, sh, sok := so.LookupRange(from, to)
+		if fok != sok || (fok && (fl != sl || fh != sh)) {
+			t.Fatalf("trial %d words %v: LookupRange(%q,%q) fc (%d,%d,%v) vs sorted (%d,%d,%v)",
+				trial, words, from, to, fl, fh, fok, sl, sh, sok)
+		}
+		// Random point lookups agree too.
+		probe := randWord()
+		fa, faok := fc.Lookup(probe)
+		sa, saok := so.Lookup(probe)
+		if faok != saok || fa != sa {
+			t.Fatalf("trial %d: Lookup(%q) disagrees", trial, probe)
+		}
+	}
+}
+
+func TestFrontCodedCompresses(t *testing.T) {
+	// Machine-generated values share long prefixes: compression must win
+	// decisively.
+	words := make([]string, 2000)
+	for i := range words {
+		words[i] = fmt.Sprintf("customer_city-%08d", i)
+	}
+	fc, err := NewFrontCoded(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, comp := fc.RawBytes(), fc.CompressedBytes()
+	if comp >= raw/2 {
+		t.Fatalf("compression too weak: %d of %d bytes", comp, raw)
+	}
+}
+
+func TestFrontCodedBuilderIntegration(t *testing.T) {
+	b := NewBuilder()
+	for _, w := range []string{"cherry", "apple", "banana"} {
+		if _, err := b.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, _, err := b.Build(KindFrontCoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if id, ok := d.Lookup("banana"); !ok || id != 1 {
+		t.Fatalf("banana = (%d,%v)", id, ok)
+	}
+	if KindFrontCoded.String() != "front-coded" {
+		t.Fatalf("kind name = %q", KindFrontCoded.String())
+	}
+}
+
+func TestFrontCodedEmptyAndEdges(t *testing.T) {
+	fc, err := NewFrontCoded(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != 0 {
+		t.Fatal("empty Len")
+	}
+	if _, ok := fc.Lookup("x"); ok {
+		t.Fatal("empty Lookup found something")
+	}
+	if _, _, ok := fc.LookupRange("a", "b"); ok {
+		t.Fatal("empty LookupRange found something")
+	}
+	if _, ok := fc.Decode(0); ok {
+		t.Fatal("empty Decode found something")
+	}
+	// Single entry.
+	fc, _ = NewFrontCoded([]string{"only"})
+	if id, ok := fc.Lookup("only"); !ok || id != 0 {
+		t.Fatal("single-entry lookup failed")
+	}
+	lo, hi, ok := fc.LookupRange("a", "z")
+	if !ok || lo != 0 || hi != 0 {
+		t.Fatalf("single-entry range = (%d,%d,%v)", lo, hi, ok)
+	}
+}
+
+func BenchmarkLookupFrontCoded(b *testing.B) {
+	d := makeDict(b, 100000, KindFrontCoded)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(fmt.Sprintf("value-%08d", i%100000))
+	}
+}

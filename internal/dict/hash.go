@@ -1,0 +1,51 @@
+package dict
+
+import "math"
+
+// Hash is a hash-table dictionary: O(1) expected Lookup, the fastest option
+// for the equality-only translations that dominate OLAP predicate lists.
+// Codes follow the same sorted assignment as Sorted, so encoded columns are
+// interchangeable between implementations.
+type Hash struct {
+	byString map[string]ID
+	entries  []string
+}
+
+// NewHash builds a Hash dictionary from strictly sorted unique strings
+// (same contract as NewSorted so that codes agree across kinds).
+func NewHash(sortedUnique []string) (*Hash, error) {
+	if len(sortedUnique) >= math.MaxUint32 {
+		return nil, ErrFull
+	}
+	// Validate ordering via NewSorted's check without keeping its copy.
+	if _, err := NewSorted(sortedUnique); err != nil {
+		return nil, err
+	}
+	e := make([]string, len(sortedUnique))
+	copy(e, sortedUnique)
+	m := make(map[string]ID, len(e))
+	for i, s := range e {
+		m[s] = ID(i)
+	}
+	return &Hash{byString: m, entries: e}, nil
+}
+
+// Lookup implements Dictionary.
+func (d *Hash) Lookup(s string) (ID, bool) {
+	id, ok := d.byString[s]
+	if !ok {
+		return NotFound, false
+	}
+	return id, true
+}
+
+// Decode implements Dictionary.
+func (d *Hash) Decode(id ID) (string, bool) {
+	if !validID(id, len(d.entries)) {
+		return "", false
+	}
+	return d.entries[id], true
+}
+
+// Len implements Dictionary.
+func (d *Hash) Len() int { return len(d.entries) }

@@ -1,0 +1,50 @@
+package dict
+
+import "math"
+
+// Linear is a naive scan dictionary: Lookup walks the entry table until it
+// finds the string. Its cost is Θ(D_L) in the dictionary length, which is
+// exactly the shape of the paper's translation-cost model
+//
+//	P_DICT(D_L) = 0.0138e-6 · D_L seconds            (eq. 17)
+//
+// (a straight line through the origin in Fig. 9). Linear exists to
+// calibrate and validate that model — production encoding uses Sorted or
+// Hash. Codes follow the same sorted assignment as the other kinds.
+type Linear struct {
+	entries []string
+}
+
+// NewLinear builds a Linear dictionary from strictly sorted unique strings.
+func NewLinear(sortedUnique []string) (*Linear, error) {
+	if len(sortedUnique) >= math.MaxUint32 {
+		return nil, ErrFull
+	}
+	if _, err := NewSorted(sortedUnique); err != nil {
+		return nil, err
+	}
+	e := make([]string, len(sortedUnique))
+	copy(e, sortedUnique)
+	return &Linear{entries: e}, nil
+}
+
+// Lookup implements Dictionary by linear scan.
+func (d *Linear) Lookup(s string) (ID, bool) {
+	for i, e := range d.entries {
+		if e == s {
+			return ID(i), true
+		}
+	}
+	return NotFound, false
+}
+
+// Decode implements Dictionary.
+func (d *Linear) Decode(id ID) (string, bool) {
+	if !validID(id, len(d.entries)) {
+		return "", false
+	}
+	return d.entries[id], true
+}
+
+// Len implements Dictionary.
+func (d *Linear) Len() int { return len(d.entries) }

@@ -1,0 +1,140 @@
+package dict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is the paper's "multiple dictionaries" arrangement: one dictionary
+// per text column, keyed by column name. Small per-column dictionaries give
+// the scheduler tight translation-time estimates, because each lookup's
+// cost depends only on that column's D_L (Sec. III-F).
+type Set struct {
+	byColumn map[string]Dictionary
+}
+
+// NewSet returns an empty dictionary set.
+func NewSet() *Set {
+	return &Set{byColumn: make(map[string]Dictionary)}
+}
+
+// Put registers (or replaces) the dictionary for a column.
+func (s *Set) Put(column string, d Dictionary) {
+	s.byColumn[column] = d
+}
+
+// Get returns the dictionary for a column.
+func (s *Set) Get(column string) (Dictionary, bool) {
+	d, ok := s.byColumn[column]
+	return d, ok
+}
+
+// Columns returns the registered column names in sorted order.
+func (s *Set) Columns() []string {
+	cols := make([]string, 0, len(s.byColumn))
+	for c := range s.byColumn {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// Len returns the number of registered columns.
+func (s *Set) Len() int { return len(s.byColumn) }
+
+// DictLen returns D_L for a column, or 0 if the column has no dictionary.
+func (s *Set) DictLen(column string) int {
+	if d, ok := s.byColumn[column]; ok {
+		return d.Len()
+	}
+	return 0
+}
+
+// Translate converts one text literal on a column to its code.
+func (s *Set) Translate(column, literal string) (ID, error) {
+	d, ok := s.byColumn[column]
+	if !ok {
+		return NotFound, fmt.Errorf("dict: column %q has no dictionary", column)
+	}
+	id, ok := d.Lookup(literal)
+	if !ok {
+		return NotFound, fmt.Errorf("dict: %q not in dictionary for column %q", literal, column)
+	}
+	return id, nil
+}
+
+// TranslateRange converts a text interval [from, to] on a column to a code
+// interval. It requires an order-preserving dictionary; empty reports that
+// no stored value falls in the interval (the predicate selects nothing).
+func (s *Set) TranslateRange(column, from, to string) (lo, hi ID, empty bool, err error) {
+	d, ok := s.byColumn[column]
+	if !ok {
+		return 0, 0, false, fmt.Errorf("dict: column %q has no dictionary", column)
+	}
+	rl, ok := d.(RangeLookuper)
+	if !ok {
+		return 0, 0, false, fmt.Errorf("dict: dictionary for column %q is not order-preserving", column)
+	}
+	lo, hi, ok = rl.LookupRange(from, to)
+	if !ok {
+		return 0, 0, true, nil
+	}
+	return lo, hi, false, nil
+}
+
+// Decode converts a code on a column back to its string.
+func (s *Set) Decode(column string, id ID) (string, error) {
+	d, ok := s.byColumn[column]
+	if !ok {
+		return "", fmt.Errorf("dict: column %q has no dictionary", column)
+	}
+	str, ok := d.Decode(id)
+	if !ok {
+		return "", fmt.Errorf("dict: code %d invalid for column %q", id, column)
+	}
+	return str, nil
+}
+
+// GlobalSet builds the ablation variant the paper argues against: a single
+// shared dictionary for all text columns. Every column reports the same
+// D_L (the union size), so translation-time estimates are loose. Returned
+// as a Set so it is a drop-in replacement in experiments.
+func GlobalSet(columns map[string][]string, kind Kind) (*Set, error) {
+	b := NewBuilder()
+	for _, values := range columns {
+		for _, v := range values {
+			if _, err := b.Add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	d, _, err := b.Build(kind)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSet()
+	for col := range columns {
+		s.Put(col, d)
+	}
+	return s, nil
+}
+
+// PerColumnSet builds the paper's preferred arrangement: an independent
+// dictionary per column, each holding only that column's distinct values.
+func PerColumnSet(columns map[string][]string, kind Kind) (*Set, error) {
+	s := NewSet()
+	for col, values := range columns {
+		b := NewBuilder()
+		for _, v := range values {
+			if _, err := b.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		d, _, err := b.Build(kind)
+		if err != nil {
+			return nil, err
+		}
+		s.Put(col, d)
+	}
+	return s, nil
+}

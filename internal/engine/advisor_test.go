@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"hybridolap/internal/table"
+)
+
+func advisorSpec(budget int64) AdvisorSpec {
+	s := table.PaperSchema()
+	return AdvisorSpec{
+		Schema:       &s,
+		BudgetBytes:  budget,
+		LevelWeights: []float64{0.25, 0.25, 0.25, 0.25},
+	}
+}
+
+func TestAdviseRespectsBudget(t *testing.T) {
+	// 1 MB budget: only levels 0 (4KB) and 1 (512KB) fit.
+	a, err := Advise(advisorSpec(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsedBytes > 1<<20 {
+		t.Fatalf("budget exceeded: %d", a.UsedBytes)
+	}
+	for _, l := range a.Levels {
+		if l > 1 {
+			t.Fatalf("level %d cannot fit the budget", l)
+		}
+	}
+}
+
+func TestAdviseMoreBudgetNeverWorse(t *testing.T) {
+	prev := -1.0
+	for _, budget := range []int64{0, 1 << 20, 600 << 20, 40 << 30} {
+		spec := advisorSpec(budget)
+		a, err := Advise(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && a.ExpectedSeconds > prev+1e-12 {
+			t.Fatalf("budget %d worsened expected time: %v > %v", budget, a.ExpectedSeconds, prev)
+		}
+		prev = a.ExpectedSeconds
+	}
+}
+
+func TestAdviseZeroBudgetMeansGPUOnly(t *testing.T) {
+	spec := advisorSpec(1) // nothing fits
+	a, err := Advise(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Levels) != 0 || a.CPUFraction != 0 {
+		t.Fatalf("advice = %+v, want empty", a)
+	}
+	if a.ExpectedSeconds <= 0 {
+		t.Fatal("GPU-only expected time should be positive")
+	}
+}
+
+func TestAdviseSkipsUselessLargeCubes(t *testing.T) {
+	// With a huge budget the 32 GB cube is affordable, but a typical
+	// level-3 sub-cube (25% of 32 GB = 8 GB) takes ~0.34 s on 8 threads vs
+	// ~7 ms on the GPU — the advisor must not waste 32 GB on it.
+	a, err := Advise(advisorSpec(64 << 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range a.Levels {
+		if l == 3 {
+			t.Fatalf("advisor selected the 32GB cube despite GPU dominance: %+v", a)
+		}
+	}
+	// Small cubes are free wins: level 0 and 1 should be selected.
+	has := map[int]bool{}
+	for _, l := range a.Levels {
+		has[l] = true
+	}
+	if !has[0] || !has[1] {
+		t.Fatalf("advisor skipped cheap cubes: %+v", a)
+	}
+}
+
+func TestAdviseTieBreaksTowardLessMemory(t *testing.T) {
+	// A workload needing only level 0: selecting level 1 too would not
+	// help, so the advisor must not.
+	spec := advisorSpec(64 << 30)
+	spec.LevelWeights = []float64{1, 0, 0, 0}
+	a, err := Advise(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Levels) != 1 || a.Levels[0] != 0 {
+		t.Fatalf("advice = %+v, want just level 0", a)
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	if _, err := Advise(AdvisorSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	s := table.PaperSchema()
+	if _, err := Advise(AdvisorSpec{Schema: &s}); err == nil {
+		t.Fatal("missing weights accepted")
+	}
+}
+
+func TestAdviseMatchesSetupEndToEnd(t *testing.T) {
+	// The advisor's pick must be buildable by Setup and improve modelled
+	// throughput versus a GPU-only system on a cube-friendly workload.
+	a, err := Advise(advisorSpec(600 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var materialise []int
+	for _, l := range a.Levels {
+		if l <= 1 { // laptop-scale build
+			materialise = append(materialise, l)
+		}
+	}
+	if len(materialise) == 0 {
+		t.Skip("advice has no laptop-scale level")
+	}
+	if _, err := Setup(SetupSpec{Rows: 500, Seed: 1, CubeLevels: materialise}); err != nil {
+		t.Fatal(err)
+	}
+}

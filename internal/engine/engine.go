@@ -1,0 +1,251 @@
+// Package engine assembles the hybrid OLAP system: the columnar fact table
+// and its dictionaries on the (simulated) GPU, the multi-resolution cube
+// set in CPU memory, the performance estimator and the Fig. 10 scheduler.
+//
+// Two execution modes share the same scheduler and estimation path:
+//
+//   - RunModel drives a discrete-event simulation on virtual time, using
+//     the calibrated performance functions as service times. This is the
+//     paper's own evaluation method (Sec. IV: "we have developed a system
+//     model ... based on characteristics extracted from performance
+//     measurements") and is what reproduces the throughput tables.
+//
+//   - RunReal executes every query for real: goroutine worker partitions
+//     aggregate actual cubes, translate actual dictionaries and scan the
+//     actual fact table, at laptop scale on the wall clock. It exists to
+//     prove functional correctness end to end: both paths return identical
+//     answers.
+package engine
+
+import (
+	"fmt"
+
+	"hybridolap/internal/cube"
+	"hybridolap/internal/gpusim"
+	"hybridolap/internal/perfmodel"
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+// Config assembles a System.
+type Config struct {
+	// Table is the fact table resident in (simulated) GPU memory.
+	Table *table.FactTable
+	// Cubes is the CPU-side multi-resolution cube set. May be nil for a
+	// GPU-only system.
+	Cubes *cube.Set
+	// Device is the simulated GPU; it must already have the table loaded
+	// and a partition layout installed.
+	Device *gpusim.Device
+	// Estimator supplies the CPU/GPU/dictionary models. Defaults to the
+	// paper's published models.
+	Estimator *perfmodel.Estimator
+	// CPUThreads selects the CPU model (1, 4 or 8 with the paper
+	// estimator) and the real-mode aggregation parallelism.
+	CPUThreads int
+	// Sched configures the scheduling policy; GPUWidths is filled in from
+	// the device layout.
+	Sched sched.Config
+	// VirtualDictLens overrides per-column dictionary lengths D_L used in
+	// translation-time estimation — the dictionary analogue of virtual
+	// cube levels, letting the system model carry paper-scale dictionaries
+	// (hundreds of thousands of entries) over a laptop-scale table. Only
+	// estimation consults it; RunReal translates against the real
+	// dictionaries. Columns not present fall back to the real length.
+	VirtualDictLens map[string]int
+}
+
+// System is a runnable hybrid OLAP engine.
+type System struct {
+	cfg       Config
+	scheduler *sched.Scheduler
+	widths    []int
+	totalCols int
+}
+
+// New validates the wiring and builds the scheduler.
+func New(cfg Config) (*System, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("engine: config needs a fact table")
+	}
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("engine: config needs a device")
+	}
+	if cfg.Device.Table() != cfg.Table {
+		return nil, fmt.Errorf("engine: device has a different table loaded")
+	}
+	parts := cfg.Device.Partitions()
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("engine: device has no partition layout")
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = perfmodel.PaperEstimator()
+	}
+	if cfg.CPUThreads == 0 {
+		cfg.CPUThreads = 8
+	}
+	if _, ok := cfg.Estimator.CPU[cfg.CPUThreads]; !ok && cfg.Cubes != nil {
+		return nil, fmt.Errorf("engine: estimator has no CPU model for %d threads", cfg.CPUThreads)
+	}
+	widths := make([]int, len(parts))
+	for i, p := range parts {
+		widths[i] = p.SMs()
+	}
+	cfg.Sched.GPUWidths = widths
+	s, err := sched.New(cfg.Sched)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:       cfg,
+		scheduler: s,
+		widths:    widths,
+		totalCols: cfg.Table.Schema().TotalColumns(),
+	}, nil
+}
+
+// Scheduler exposes the scheduler (telemetry, tests).
+func (s *System) Scheduler() *sched.Scheduler { return s.scheduler }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Estimate runs step 2 of Fig. 10 for one query: T_CPU from the sub-cube
+// model (eqs. 3+7/10), T_GPU per partition from P_GPU (eq. 14), T_TRANS
+// from P_DICT (eqs. 16–18).
+func (s *System) Estimate(q *query.Query) (sched.Estimates, error) {
+	var est sched.Estimates
+
+	est.NeedsTranslation = q.NeedsTranslation()
+	if est.NeedsTranslation {
+		var lens []int
+		for i := range q.TextConds {
+			tc := &q.TextConds[i]
+			if tc.Translated {
+				continue
+			}
+			n, ok := s.cfg.VirtualDictLens[tc.Column]
+			if !ok {
+				n = s.cfg.Table.Dicts().DictLen(tc.Column)
+			}
+			for k := 0; k < tc.Lookups(); k++ {
+				lens = append(lens, n)
+			}
+		}
+		est.TransSeconds = s.cfg.Estimator.TransTime(lens)
+	}
+
+	if s.cfg.Cubes != nil && s.cpuCanAnswer(q) {
+		if bytes, ok := q.SubCubeBytes(s.cfg.Cubes); ok {
+			mb := float64(bytes) / (1 << 20)
+			t, err := s.cfg.Estimator.CPUTime(s.cfg.CPUThreads, mb)
+			if err != nil {
+				return sched.Estimates{}, err
+			}
+			est.CPUOK = true
+			est.CPUSeconds = t
+		}
+	}
+
+	cols := q.ColumnsAccessed()
+	est.GPUSeconds = make([]float64, len(s.widths))
+	for i, w := range s.widths {
+		t, err := s.cfg.Device.EstimateSeconds(w, cols, s.totalCols)
+		if err != nil {
+			return sched.Estimates{}, err
+		}
+		est.GPUSeconds[i] = t
+	}
+	return est, nil
+}
+
+// aggValue extracts the requested aggregate from a cube Agg.
+func aggValue(op table.AggOp, a cube.Agg) (float64, int64) {
+	switch op {
+	case table.AggSum:
+		return a.Sum, a.Count
+	case table.AggCount:
+		return float64(a.Count), a.Count
+	case table.AggMin:
+		return a.Min, a.Count
+	case table.AggMax:
+		return a.Max, a.Count
+	case table.AggAvg:
+		return a.Avg(), a.Count
+	default:
+		return 0, a.Count
+	}
+}
+
+// cpuCanAnswer reports whether the cube set can answer the query at all:
+// no text predicates (cubes aggregate over hierarchies only) and the
+// query's measure is the one the cubes aggregate (count queries read no
+// measure, so any cube set works).
+func (s *System) cpuCanAnswer(q *query.Query) bool {
+	if q.GPUOnly() {
+		return false
+	}
+	return q.Op == table.AggCount || q.Measure == s.cfg.Cubes.Measure()
+}
+
+// AnswerOnCPU answers a query from the cube set (the CPU partition's work),
+// using the configured aggregation parallelism.
+func (s *System) AnswerOnCPU(q *query.Query) (table.ScanResult, error) {
+	if s.cfg.Cubes == nil {
+		return table.ScanResult{}, fmt.Errorf("engine: no cube set configured")
+	}
+	if !s.cpuCanAnswer(q) {
+		return table.ScanResult{}, fmt.Errorf("engine: query %d (measure %d, %d text predicates) cannot be answered from the cube set",
+			q.ID, q.Measure, len(q.TextConds))
+	}
+	r := q.Resolution()
+	box, empty, err := q.Box(s.cfg.Cubes.Schema(), r)
+	if err != nil {
+		return table.ScanResult{}, err
+	}
+	if empty {
+		return table.ScanResult{}, nil
+	}
+	agg, _, err := s.cfg.Cubes.Aggregate(box, r, s.cfg.CPUThreads)
+	if err != nil {
+		return table.ScanResult{}, err
+	}
+	v, rows := aggValue(q.Op, agg)
+	return table.ScanResult{Value: v, Rows: rows}, nil
+}
+
+// AnswerOnGPU answers a (translated) query on a specific GPU partition.
+func (s *System) AnswerOnGPU(q *query.Query, partition int) (table.ScanResult, error) {
+	parts := s.cfg.Device.Partitions()
+	if partition < 0 || partition >= len(parts) {
+		return table.ScanResult{}, fmt.Errorf("engine: partition %d out of range", partition)
+	}
+	req, empty, err := q.ToScanRequest(s.cfg.Table.Schema())
+	if err != nil {
+		return table.ScanResult{}, err
+	}
+	if empty {
+		return table.ScanResult{}, nil
+	}
+	return parts[partition].Execute(req)
+}
+
+// Reference answers a query by a sequential full scan of the fact table —
+// the ground truth both partitions must agree with.
+func (s *System) Reference(q *query.Query) (table.ScanResult, error) {
+	qq := q.Clone()
+	if qq.NeedsTranslation() {
+		if _, err := query.Translate(qq, s.cfg.Table.Dicts()); err != nil {
+			return table.ScanResult{}, err
+		}
+	}
+	req, empty, err := qq.ToScanRequest(s.cfg.Table.Schema())
+	if err != nil {
+		return table.ScanResult{}, err
+	}
+	if empty {
+		return table.ScanResult{}, nil
+	}
+	return table.Scan(s.cfg.Table, req)
+}

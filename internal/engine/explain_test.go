@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+func TestExplainCubeAnswerable(t *testing.T) {
+	s := testSystem(t, nil)
+	q := &query.Query{
+		Conditions: []query.Condition{{Dim: 0, Level: 0, From: 0, To: 3}},
+		Measure:    0, Op: table.AggSum,
+	}
+	ex, err := s.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Estimates.CPUOK || ex.Reason != "cube-answerable" {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	if ex.SubCubeBytes == 0 {
+		t.Fatal("SubCubeBytes missing")
+	}
+	if ex.Decision.Queue.Kind != sched.QueueCPU {
+		t.Fatalf("decision = %v, want cpu", ex.Decision.Queue)
+	}
+	if !strings.Contains(ex.String(), "decision: cpu") {
+		t.Fatalf("String() = %q", ex.String())
+	}
+}
+
+func TestExplainDoesNotCommitState(t *testing.T) {
+	s := testSystem(t, nil)
+	q := &query.Query{
+		Conditions: []query.Condition{{Dim: 0, Level: 3, From: 0, To: 500}},
+		Measure:    0, Op: table.AggSum,
+	}
+	before := s.Scheduler().Stats()
+	var lastQueue string
+	for i := 0; i < 10; i++ {
+		ex, err := s.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Repeated explains return the same placement: no clocks moved.
+		if i > 0 && ex.Decision.Queue.String() != lastQueue {
+			t.Fatalf("Explain drifted: %s then %s", lastQueue, ex.Decision.Queue)
+		}
+		lastQueue = ex.Decision.Queue.String()
+	}
+	after := s.Scheduler().Stats()
+	if after.Submitted != before.Submitted {
+		t.Fatal("Explain committed a submission")
+	}
+	if got := s.Scheduler().QueueClock(sched.QueueRef{Kind: sched.QueueGPU, Index: 0}); got != 0 {
+		t.Fatalf("queue clock moved to %v", got)
+	}
+}
+
+func TestExplainReasons(t *testing.T) {
+	s := testSystem(t, nil)
+	cases := []struct {
+		q      *query.Query
+		reason string
+	}{
+		{
+			&query.Query{TextConds: []query.TextCondition{{Column: "store_name", From: "a", To: "a"}},
+				Measure: 0, Op: table.AggSum},
+			"force the GPU path",
+		},
+		{
+			&query.Query{Conditions: []query.Condition{{Dim: 0, Level: 3, From: 0, To: 10}},
+				Measure: 0, Op: table.AggSum},
+			"no pre-calculated cube at level >= 3",
+		},
+		{
+			&query.Query{Conditions: []query.Condition{{Dim: 0, Level: 0, From: 0, To: 1}},
+				Measure: 1, Op: table.AggSum},
+			"cubes aggregate measure 0, query needs 1",
+		},
+	}
+	for i, c := range cases {
+		ex, err := s.Explain(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(ex.Reason, c.reason) {
+			t.Fatalf("case %d: reason %q does not contain %q", i, ex.Reason, c.reason)
+		}
+		if ex.Estimates.CPUOK {
+			t.Fatalf("case %d: unexpectedly CPU-answerable", i)
+		}
+	}
+}
+
+func TestExplainValidates(t *testing.T) {
+	s := testSystem(t, nil)
+	if _, err := s.Explain(&query.Query{Conditions: []query.Condition{{Dim: 9}}}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestModelPercentiles(t *testing.T) {
+	s := testSystem(t, func(sp *SetupSpec) { sp.VirtualLevels = []int{2, 3} })
+	g := testGen(t, s, 19, 0.2)
+	res, err := s.RunModel(g.Batch(200), ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50LatencySeconds <= res.P95LatencySeconds && res.P95LatencySeconds <= res.P99LatencySeconds) {
+		t.Fatalf("percentiles not monotone: %v %v %v",
+			res.P50LatencySeconds, res.P95LatencySeconds, res.P99LatencySeconds)
+	}
+	if res.P99LatencySeconds <= 0 {
+		t.Fatal("p99 should be positive for a saturated batch")
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+// AnswerGroupsOnCPU answers a grouped query from the cube set. The picked
+// cube must be at least as fine as every condition and grouping level; the
+// aggregates per group are exact (cube cells compose).
+func (s *System) AnswerGroupsOnCPU(q *query.Query) ([]table.GroupRow, error) {
+	if s.cfg.Cubes == nil {
+		return nil, fmt.Errorf("engine: no cube set configured")
+	}
+	if !q.Grouped() {
+		return nil, fmt.Errorf("engine: query %d has no GROUP BY", q.ID)
+	}
+	if !s.cpuCanAnswer(q) {
+		return nil, fmt.Errorf("engine: grouped query %d cannot be answered from the cube set", q.ID)
+	}
+	r := q.Resolution()
+	box, empty, err := q.Box(s.cfg.Cubes.Schema(), r)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return nil, nil
+	}
+	groups, err := q.CubeGroupLevels()
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.cfg.Cubes.AggregateGroups(box, r, groups, s.cfg.CPUThreads)
+	if err != nil {
+		return nil, err
+	}
+	// Convert cube aggregates to finalised group rows.
+	acc := make(table.Groups, len(m))
+	for k, agg := range m {
+		v, _ := aggValue(q.Op, agg)
+		switch q.Op {
+		case table.AggAvg:
+			// Finalize divides; hand it the raw sum.
+			acc[k] = table.ScanResult{Value: agg.Sum, Rows: agg.Count}
+		case table.AggCount:
+			acc[k] = table.ScanResult{Rows: agg.Count}
+		default:
+			acc[k] = table.ScanResult{Value: v, Rows: agg.Count}
+		}
+	}
+	return table.FinalizeGroups(q.Op, acc, len(q.GroupBy)), nil
+}
+
+// AnswerGroupsOnGPU answers a (translated) grouped query on one GPU
+// partition.
+func (s *System) AnswerGroupsOnGPU(q *query.Query, partition int) ([]table.GroupRow, error) {
+	parts := s.cfg.Device.Partitions()
+	if partition < 0 || partition >= len(parts) {
+		return nil, fmt.Errorf("engine: partition %d out of range", partition)
+	}
+	req, empty, err := q.ToGroupScanRequest(s.cfg.Table.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return nil, nil
+	}
+	return parts[partition].ExecuteGroup(req)
+}
+
+// ReferenceGroups answers a grouped query by a sequential scan — the
+// ground truth both paths must match.
+func (s *System) ReferenceGroups(q *query.Query) ([]table.GroupRow, error) {
+	qq := q.Clone()
+	if qq.NeedsTranslation() {
+		if _, err := query.Translate(qq, s.cfg.Table.Dicts()); err != nil {
+			return nil, err
+		}
+	}
+	req, empty, err := qq.ToGroupScanRequest(s.cfg.Table.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return nil, nil
+	}
+	return table.GroupScan(s.cfg.Table, req)
+}
+
+// RunGrouped schedules one grouped query with the Fig. 10 algorithm (its
+// estimates already include the grouping columns in C_QD) and executes it
+// synchronously on the chosen partition. Grouped queries are interactive
+// drill-downs, so the synchronous path matches how they are used.
+func (s *System) RunGrouped(q *query.Query) ([]table.GroupRow, string, error) {
+	qq := q.Clone()
+	est, err := s.Estimate(qq)
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := s.scheduler.Submit(0, est)
+	if err != nil {
+		return nil, "", err
+	}
+	if est.NeedsTranslation {
+		if _, err := query.Translate(qq, s.cfg.Table.Dicts()); err != nil {
+			return nil, "", err
+		}
+	}
+	if d.Queue.Kind == sched.QueueCPU {
+		rows, err := s.AnswerGroupsOnCPU(qq)
+		return rows, "cpu", err
+	}
+	rows, err := s.AnswerGroupsOnGPU(qq, d.Queue.Index)
+	return rows, d.Queue.String(), err
+}

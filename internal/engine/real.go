@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+// RealOutcome records one query's real execution.
+type RealOutcome struct {
+	ID      int64
+	Queue   sched.QueueRef
+	Result  table.ScanResult
+	Latency time.Duration
+	// EstServiceSeconds is the model's service-time estimate for the
+	// chosen partition; ActServiceSeconds the measured service time. Their
+	// ratio is the calibration error the feedback loop absorbs.
+	EstServiceSeconds float64
+	ActServiceSeconds float64
+	Err               error
+}
+
+// RealResult summarises a RunReal execution.
+type RealResult struct {
+	Queries    int
+	Completed  int
+	Failed     int
+	Elapsed    time.Duration
+	Throughput float64 // completed queries per wall-clock second
+	Outcomes   []RealOutcome
+	SchedStats sched.Stats
+}
+
+// realJob carries a scheduled query to its partition worker.
+type realJob struct {
+	q        *query.Query
+	decision sched.Decision
+	est      sched.Estimates
+	started  time.Time
+	slot     int // index into outcomes
+}
+
+// RunReal executes every query for real: the scheduler (driven by the wall
+// clock) places each query; goroutine workers embody the partitions — one
+// for the CPU cube partition, one for the translation partition and one
+// per GPU partition. Queries routed to the GPU with text predicates pass
+// through the translation worker first, exactly like the paper's pipeline.
+//
+// Feedback uses real measured service times, so estimation error in the
+// calibrated models is corrected while the run proceeds.
+func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
+	parts := s.cfg.Device.Partitions()
+	res := &RealResult{Queries: len(queries), Outcomes: make([]RealOutcome, len(queries))}
+
+	cpuCh := make(chan realJob, len(queries))
+	transCh := make(chan realJob, len(queries))
+	gpuCh := make([]chan realJob, len(parts))
+	for i := range gpuCh {
+		gpuCh[i] = make(chan realJob, len(queries))
+	}
+
+	start := time.Now()
+	nowS := func() float64 { return time.Since(start).Seconds() }
+
+	var mu sync.Mutex // serialises scheduler access from workers
+	feedback := func(ref sched.QueueRef, delta float64) {
+		mu.Lock()
+		s.scheduler.Feedback(ref, delta, nowS())
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	done := func(j realJob, r table.ScanResult, est, act float64, err error) {
+		res.Outcomes[j.slot] = RealOutcome{
+			ID: j.q.ID, Queue: j.decision.Queue, Result: r,
+			Latency:           time.Since(j.started),
+			EstServiceSeconds: est, ActServiceSeconds: act,
+			Err: err,
+		}
+		wg.Done()
+	}
+
+	// CPU cube partition worker.
+	go func() {
+		for j := range cpuCh {
+			t0 := time.Now()
+			r, err := s.AnswerOnCPU(j.q)
+			act := time.Since(t0).Seconds()
+			feedback(j.decision.Queue, act-j.est.CPUSeconds)
+			done(j, r, j.est.CPUSeconds, act, err)
+		}
+	}()
+
+	// Translation partition worker: translate, then forward to the GPU
+	// queue chosen by the scheduler.
+	go func() {
+		transQueue := sched.QueueRef{Kind: sched.QueueCPU, Index: -1}
+		for j := range transCh {
+			t0 := time.Now()
+			_, err := query.Translate(j.q, s.cfg.Table.Dicts())
+			feedback(transQueue, time.Since(t0).Seconds()-j.est.TransSeconds)
+			if err != nil {
+				done(j, table.ScanResult{}, j.est.TransSeconds, 0, err)
+				continue
+			}
+			gpuCh[j.decision.Queue.Index] <- j
+		}
+	}()
+
+	// GPU partition workers.
+	for i := range parts {
+		i := i
+		go func() {
+			for j := range gpuCh[i] {
+				t0 := time.Now()
+				r, err := s.AnswerOnGPU(j.q, i)
+				act := time.Since(t0).Seconds()
+				feedback(j.decision.Queue, act-j.est.GPUSeconds[i])
+				done(j, r, j.est.GPUSeconds[i], act, err)
+			}
+		}()
+	}
+
+	// Drive: estimate, schedule, route.
+	for slot, q0 := range queries {
+		if q0.Grouped() {
+			return nil, fmt.Errorf("engine: query %d has GROUP BY; use RunGrouped", q0.ID)
+		}
+		q := q0.Clone() // translation mutates the query
+		est, err := s.Estimate(q)
+		if err != nil {
+			return nil, fmt.Errorf("engine: estimating query %d: %w", q.ID, err)
+		}
+		mu.Lock()
+		d, err := s.scheduler.Submit(nowS(), est)
+		mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("engine: scheduling query %d: %w", q.ID, err)
+		}
+		wg.Add(1)
+		j := realJob{q: q, decision: d, est: est, started: time.Now(), slot: slot}
+		switch {
+		case d.Queue.Kind == sched.QueueCPU:
+			cpuCh <- j
+		case est.NeedsTranslation:
+			transCh <- j
+		default:
+			gpuCh[d.Queue.Index] <- j
+		}
+	}
+	wg.Wait()
+	close(cpuCh)
+	close(transCh)
+	for _, ch := range gpuCh {
+		close(ch)
+	}
+
+	res.Elapsed = time.Since(start)
+	for _, o := range res.Outcomes {
+		if o.Err != nil {
+			res.Failed++
+		} else {
+			res.Completed++
+		}
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Completed) / secs
+	}
+	mu.Lock()
+	res.SchedStats = s.scheduler.Stats()
+	mu.Unlock()
+	return res, nil
+}

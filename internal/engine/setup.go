@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+
+	"hybridolap/internal/cube"
+	"hybridolap/internal/gpusim"
+	"hybridolap/internal/perfmodel"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+// SetupSpec builds a complete paper-configuration system in one call.
+type SetupSpec struct {
+	// Rows sizes the laptop-scale fact table (default 50 000).
+	Rows int
+	// Seed drives table generation.
+	Seed int64
+	// CubeLevels are materialised (default {0, 1}); real cells, answerable.
+	CubeLevels []int
+	// VirtualLevels are registered for estimation only (use with RunModel;
+	// never with RunReal, which must answer on real cells).
+	VirtualLevels []int
+	// CPUThreads selects the CPU performance model: 1, 4 or 8 (default 8).
+	CPUThreads int
+	// DeadlineSeconds is T_C (default 1.0).
+	DeadlineSeconds float64
+	// Policy, Placement, Translation and DisableFeedback configure the
+	// scheduler (defaults: the paper algorithm).
+	Policy          sched.Policy
+	Placement       sched.Placement
+	Translation     sched.TranslationMode
+	DisableFeedback bool
+	// Layout overrides the GPU partition layout (default PaperLayout).
+	Layout []int
+	// Estimator overrides the performance models (default paper models).
+	Estimator *perfmodel.Estimator
+	// VirtualDictLens overrides dictionary lengths for translation-time
+	// estimation (paper-scale dictionaries over a laptop-scale table).
+	VirtualDictLens map[string]int
+}
+
+// Setup generates the fact table on the paper schema, loads it into a
+// simulated Tesla C2070, pre-calculates the requested cubes, registers the
+// virtual levels and wires the system.
+func Setup(spec SetupSpec) (*System, error) {
+	if spec.Rows == 0 {
+		spec.Rows = 50_000
+	}
+	if spec.CubeLevels == nil {
+		spec.CubeLevels = []int{0, 1}
+	}
+	if spec.CPUThreads == 0 {
+		spec.CPUThreads = 8
+	}
+	if spec.DeadlineSeconds == 0 {
+		spec.DeadlineSeconds = 1.0
+	}
+	if spec.Layout == nil {
+		spec.Layout = gpusim.PaperLayout()
+	}
+
+	ft, err := table.Generate(table.GenSpec{
+		Schema: table.PaperSchema(),
+		Rows:   spec.Rows,
+		Seed:   spec.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: generating fact table: %w", err)
+	}
+
+	dev, err := gpusim.NewDevice(gpusim.TeslaC2070())
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.LoadTable(ft); err != nil {
+		return nil, err
+	}
+	if err := dev.Partition(spec.Layout); err != nil {
+		return nil, err
+	}
+
+	cs, err := cube.BuildSet(ft, spec.CubeLevels, 0, cube.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("engine: building cube set: %w", err)
+	}
+	for _, l := range spec.VirtualLevels {
+		if err := cs.AddVirtual(l); err != nil {
+			return nil, err
+		}
+	}
+
+	return New(Config{
+		Table:           ft,
+		Cubes:           cs,
+		Device:          dev,
+		Estimator:       spec.Estimator,
+		CPUThreads:      spec.CPUThreads,
+		VirtualDictLens: spec.VirtualDictLens,
+		Sched: sched.Config{
+			DeadlineSeconds: spec.DeadlineSeconds,
+			Policy:          spec.Policy,
+			Placement:       spec.Placement,
+			Translation:     spec.Translation,
+			DisableFeedback: spec.DisableFeedback,
+		},
+	})
+}

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceRecord is one query's life cycle in a machine-readable trace.
+type TraceRecord struct {
+	ID          int64   `json:"id"`
+	Queue       string  `json:"queue"`
+	SubmittedAt float64 `json:"submitted_at"`
+	FinishedAt  float64 `json:"finished_at"`
+	LatencyS    float64 `json:"latency_s"`
+	Deadline    float64 `json:"deadline"`
+	MetDeadline bool    `json:"met_deadline"`
+}
+
+// WriteTrace streams the run's outcomes as JSON lines, one record per
+// completed query in completion order — the raw material for external
+// latency analysis or visualisation.
+func (r *ModelResult) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, o := range r.Outcomes {
+		rec := TraceRecord{
+			ID:          o.ID,
+			Queue:       o.Queue.String(),
+			SubmittedAt: o.SubmittedAt,
+			FinishedAt:  o.FinishedAt,
+			LatencyS:    o.FinishedAt - o.SubmittedAt,
+			Deadline:    o.Deadline,
+			MetDeadline: o.MetDeadline,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/sched"
+)
+
+// ablationSeeds is how many independent workload seeds each ablation
+// variant averages over, to keep single-run scheduling noise out of the
+// comparison.
+const ablationSeeds = 3
+
+// ablationDictLens scales the dictionaries up so translation time is
+// comparable to GPU service time — the regime where translation-placement
+// design choices matter.
+func ablationDictLens() map[string]int {
+	return map[string]int{
+		"store_name":    1_500_000,
+		"customer_city": 600_000,
+	}
+}
+
+// ablationSummary aggregates runs over seeds.
+type ablationSummary struct {
+	throughput float64
+	met        int
+	completed  int
+	latency    float64
+}
+
+// ablationRun executes the hybrid workload under near-saturation open
+// arrivals with a tight deadline and noisy service times, averaged over
+// seeds, so deadline-hit rates separate the design variants.
+func ablationRun(opts Options, n int, mutate func(*engine.SetupSpec)) (*ablationSummary, error) {
+	return ablationRunNoise(opts, n, engine.Noise{Amplitude: 0.4}, mutate)
+}
+
+// ablationRunNoise is ablationRun with an explicit noise model.
+func ablationRunNoise(opts Options, n int, noise engine.Noise, mutate func(*engine.SetupSpec)) (*ablationSummary, error) {
+	var sum ablationSummary
+	for k := 0; k < ablationSeeds; k++ {
+		seed := opts.seed() + int64(k)*101
+		sys, err := hybridSystem(8, sched.PolicyPaper, seed, func(sp *engine.SetupSpec) {
+			sp.DeadlineSeconds = 0.25
+			sp.VirtualDictLens = ablationDictLens()
+			if mutate != nil {
+				mutate(sp)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		qs, err := hybridWorkload(sys, n)
+		if err != nil {
+			return nil, err
+		}
+		noise.Seed = seed + 1
+		res, err := sys.RunModel(qs, engine.ModelOptions{
+			Arrival: engine.Arrival{RatePerSec: 480, Jitter: 0.3, Seed: seed},
+			Noise:   noise,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum.throughput += res.Throughput / ablationSeeds
+		sum.met += res.MetDeadline
+		sum.completed += res.Completed
+		sum.latency += res.MeanLatencySeconds / ablationSeeds
+	}
+	return &sum, nil
+}
+
+func ablationRow(label string, res *ablationSummary) []string {
+	return []string{
+		label,
+		f(res.throughput),
+		fmt.Sprintf("%d/%d", res.met, res.completed),
+		f(res.latency * 1000),
+	}
+}
+
+var ablationCols = []string{"variant", "throughput [q/s]", "met deadline", "mean latency [ms]"}
+
+// AblationPlacement compares the paper's slowest-first GPU queue placement
+// against fastest-first and round-robin scans.
+func AblationPlacement(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-placement",
+		Title:   "GPU queue placement order (Fig. 10 step 5)",
+		Columns: ablationCols,
+		Notes: []string{
+			"paper argues slowest-first keeps fast partitions free for expensive late arrivals",
+		},
+	}
+	n := opts.pick(500, 150)
+	for _, c := range []struct {
+		label string
+		p     sched.Placement
+	}{
+		{"slowest-first (paper)", sched.PlaceSlowestFirst},
+		{"fastest-first", sched.PlaceFastestFirst},
+		{"round-robin", sched.PlaceRoundRobin},
+	} {
+		res, err := ablationRun(opts, n, func(sp *engine.SetupSpec) { sp.Placement = c.p })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, ablationRow(c.label, res))
+	}
+	return t, nil
+}
+
+// AblationTranslationPartition compares the dedicated translation
+// partition against translating on the CPU processing queue.
+func AblationTranslationPartition(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-translation",
+		Title:   "Dedicated translation partition vs translation on the CPU queue",
+		Columns: ablationCols,
+		Notes: []string{
+			"inline translation makes cube queries queue behind dictionary lookups",
+		},
+	}
+	n := opts.pick(500, 150)
+	for _, c := range []struct {
+		label string
+		m     sched.TranslationMode
+	}{
+		{"dedicated partition (paper)", sched.TransDedicated},
+		{"on CPU processing queue", sched.TransOnCPUQueue},
+	} {
+		res, err := ablationRun(opts, n, func(sp *engine.SetupSpec) { sp.Translation = c.m })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, ablationRow(c.label, res))
+	}
+	return t, nil
+}
+
+// AblationFeedback compares the measured-vs-estimated queue-clock
+// correction on and off when the calibrated models systematically
+// under-predict service times by 60% (plus ±40% noise) — the error mode
+// the correction exists for.
+func AblationFeedback(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-feedback",
+		Title:   "Estimation-error feedback (Sec. III-G) on vs off, 1.6x biased estimates",
+		Columns: ablationCols,
+		Notes: []string{
+			"actual service = 1.6 x estimate (x ±40% noise); without feedback the scheduler",
+			"believes queues are shorter than they are and overcommits them",
+		},
+	}
+	n := opts.pick(500, 150)
+	for _, c := range []struct {
+		label   string
+		disable bool
+	}{
+		{"feedback on (paper)", false},
+		{"feedback off", true},
+	} {
+		res, err := ablationRunNoise(opts, n, engine.Noise{Amplitude: 0.4, Bias: 1.6},
+			func(sp *engine.SetupSpec) { sp.DisableFeedback = c.disable })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, ablationRow(c.label, res))
+	}
+	return t, nil
+}
+
+// AblationGlobalDict compares per-column dictionaries (the paper's design)
+// against one global dictionary shared by all text columns: every lookup
+// then searches the union, inflating T_TRANS.
+func AblationGlobalDict(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-globaldict",
+		Title:   "Per-column dictionaries vs one global dictionary",
+		Columns: ablationCols,
+		Notes: []string{
+			"global D_L = sum of column D_Ls; every translation pays the union size",
+		},
+	}
+	n := opts.pick(500, 150)
+	perCol := ablationDictLens()
+	union := 0
+	for _, v := range perCol {
+		union += v
+	}
+	global := make(map[string]int, len(perCol))
+	for k := range perCol {
+		global[k] = union
+	}
+	for _, c := range []struct {
+		label string
+		lens  map[string]int
+	}{
+		{"per-column (paper)", perCol},
+		{"global dictionary", global},
+	} {
+		res, err := ablationRun(opts, n, func(sp *engine.SetupSpec) { sp.VirtualDictLens = c.lens })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, ablationRow(c.label, res))
+	}
+	return t, nil
+}
+
+// AblationPartitionLayout compares the paper's 2×1+2×2+2×4 SM layout
+// against alternative static partitionings of the 14 SMs.
+func AblationPartitionLayout(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "ablation-layout",
+		Title:   "GPU partition layouts over 14 SMs",
+		Columns: ablationCols,
+		Notes: []string{
+			"by the paper's own eq. 15, one unpartitioned 14-SM queue out-throughputs any",
+			"static split on a homogeneous stream; partitioning buys per-class isolation,",
+			"which shows in the met-deadline column under mixed loads",
+		},
+	}
+	n := opts.pick(500, 150)
+	for _, c := range []struct {
+		label  string
+		layout []int
+	}{
+		{"1,1,2,2,4,4 (paper)", []int{1, 1, 2, 2, 4, 4}},
+		{"7 x 2", []int{2, 2, 2, 2, 2, 2, 2}},
+		{"2,4,4,4", []int{2, 4, 4, 4}},
+		{"single 14", []int{14}},
+		{"14 x 1", []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+	} {
+		res, err := ablationRun(opts, n, func(sp *engine.SetupSpec) { sp.Layout = c.layout })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, ablationRow(c.label, res))
+	}
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/sched"
+)
+
+// BatchHeuristics compares the paper's on-line Fig. 10 algorithm against
+// the batch-mode Min-Min and Max-Min heuristics from Braun et al. [2] (the
+// comparison study the paper's scheduling survey builds on), on the same
+// hybrid batch, by planned makespan and mean completion time.
+func BatchHeuristics(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "batch-heuristics",
+		Title:   "Fig. 10 on-line scheduling vs Braun et al. batch heuristics",
+		Columns: []string{"strategy", "makespan [s]", "mean completion [s]", "met deadline"},
+		Notes: []string{
+			"same batch of queries, planned times (no noise); Fig. 10 sees tasks one by",
+			"one, the batch heuristics see them all — the paper's algorithm competes",
+			"without that global knowledge",
+		},
+	}
+	n := opts.pick(600, 200)
+
+	build := func() (*engine.System, []sched.Estimates, error) {
+		sys, err := hybridSystem(8, sched.PolicyPaper, opts.seed(), nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		qs, err := hybridWorkload(sys, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		ests := make([]sched.Estimates, len(qs))
+		for i, q := range qs {
+			est, err := sys.Estimate(q)
+			if err != nil {
+				return nil, nil, err
+			}
+			ests[i] = est
+		}
+		return sys, ests, nil
+	}
+
+	summarise := func(label string, ds []sched.Decision) {
+		var mean float64
+		met := 0
+		for _, d := range ds {
+			mean += d.End
+			if d.MeetsDeadline {
+				met++
+			}
+		}
+		mean /= float64(len(ds))
+		t.Rows = append(t.Rows, []string{
+			label, f(sched.BatchMakespan(ds)), f(mean),
+			fmt.Sprintf("%d/%d", met, len(ds)),
+		})
+	}
+
+	// Fig. 10, one at a time.
+	sys, ests, err := build()
+	if err != nil {
+		return nil, err
+	}
+	online := make([]sched.Decision, len(ests))
+	for i, est := range ests {
+		d, err := sys.Scheduler().Submit(0, est)
+		if err != nil {
+			return nil, err
+		}
+		online[i] = d
+	}
+	summarise("fig-10 on-line (paper)", online)
+
+	for _, flavor := range []sched.BatchFlavor{sched.MinMin, sched.MaxMin, sched.Sufferage} {
+		sys, ests, err := build()
+		if err != nil {
+			return nil, err
+		}
+		ds, err := sys.Scheduler().PlanBatch(0, ests, flavor)
+		if err != nil {
+			return nil, err
+		}
+		summarise(flavor.String(), ds)
+	}
+	return t, nil
+}

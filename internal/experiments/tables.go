@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+)
+
+// cpuRateSystem builds a CPU-only model system with the given thread count
+// and registered cube levels.
+func cpuRateSystem(threads int, cubeLevels, virtualLevels []int, seed int64) (*engine.System, error) {
+	return engine.Setup(engine.SetupSpec{
+		Rows:            2_000,
+		Seed:            seed,
+		CubeLevels:      cubeLevels,
+		VirtualLevels:   virtualLevels,
+		CPUThreads:      threads,
+		Policy:          sched.PolicyCPUOnly,
+		DeadlineSeconds: 10,
+	})
+}
+
+// cpuScanWorkload cycles near-full scans over the given levels; level 3
+// uses partial scans covering subFrac of each dimension (the 32 GB cube is
+// queried by sub-cube, not in full — Sec. IV reports 9–11 q/s, implying
+// roughly quarter-volume sub-cubes; see EXPERIMENTS.md).
+func cpuScanWorkload(sys *engine.System, n int, levels []int, subFrac float64) []*query.Query {
+	s := sys.Config().Table.Schema()
+	qs := make([]*query.Query, n)
+	for i := range qs {
+		level := levels[i%len(levels)]
+		if level >= 3 {
+			qs[i] = levelScan(s, int64(i+1), level, subFrac, false)
+		} else {
+			qs[i] = levelScan(s, int64(i+1), level, 1.0, true)
+		}
+	}
+	return qs
+}
+
+// Table2SubFrac is the per-dimension width fraction used for level-3
+// (32 GB cube) scans: 0.645³ ≈ 27 % of the cube ≈ 8.6 GB per query.
+const Table2SubFrac = 0.645
+
+// Table1 reproduces "Processing rate of CPU based OLAP cube processing for
+// set of cubes of sizes ~500MB, ~500KB and ~4KB": sequential vs 4- and
+// 8-thread parallel implementations.
+func Table1(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "CPU cube processing rate, cubes {4KB, 512KB, 512MB}",
+		Columns: []string{"threads", "measured [q/s]", "paper [q/s]"},
+		Notes: []string{
+			"uniform near-full scans over cube levels 0-2 (system model, paper CPU functions)",
+		},
+	}
+	n := opts.pick(300, 90)
+	paper := map[int]string{1: "12", 4: "87", 8: "110"}
+	for _, threads := range []int{1, 4, 8} {
+		sys, err := cpuRateSystem(threads, []int{0, 1}, []int{2}, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		qs := cpuScanWorkload(sys, n, []int{0, 1, 2}, Table2SubFrac)
+		res, err := sys.RunModel(qs, engine.ModelOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", threads), f(res.Throughput), paper[threads],
+		})
+	}
+	return t, nil
+}
+
+// Table2 reproduces "Processing rate ... for set of cubes of sizes ~32GB,
+// ~500MB, ~500KB and ~4KB" — the large-cube set only the parallel
+// implementations can serve interactively.
+func Table2(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "CPU cube processing rate with the 32GB cube added",
+		Columns: []string{"threads", "measured [q/s]", "paper [q/s]"},
+		Notes: []string{
+			fmt.Sprintf("level-3 queries scan %.1f%% of the 32GB cube (%.2f per dimension)",
+				Table2SubFrac*Table2SubFrac*Table2SubFrac*100, Table2SubFrac),
+		},
+	}
+	n := opts.pick(200, 60)
+	paper := map[int]string{4: "9", 8: "11"}
+	for _, threads := range []int{4, 8} {
+		sys, err := cpuRateSystem(threads, []int{0, 1}, []int{2, 3}, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		qs := cpuScanWorkload(sys, n, []int{0, 1, 2, 3}, Table2SubFrac)
+		res, err := sys.RunModel(qs, engine.ModelOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", threads), f(res.Throughput), paper[threads],
+		})
+	}
+	return t, nil
+}
+
+// PaperDictLens is the paper-scale dictionary-size override used by the
+// hybrid system model: TPC-DS-like name columns run to hundreds of
+// thousands of distinct values.
+func PaperDictLens() map[string]int {
+	return map[string]int{
+		"store_name":    150_000,
+		"customer_city": 60_000,
+	}
+}
+
+// hybridSystem builds the full paper system model.
+func hybridSystem(threads int, policy sched.Policy, seed int64, mutate func(*engine.SetupSpec)) (*engine.System, error) {
+	spec := engine.SetupSpec{
+		Rows:            5_000,
+		Seed:            seed,
+		CubeLevels:      []int{0, 1},
+		VirtualLevels:   []int{2, 3},
+		CPUThreads:      threads,
+		Policy:          policy,
+		DeadlineSeconds: 0.25,
+		VirtualDictLens: PaperDictLens(),
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return engine.Setup(spec)
+}
+
+// hybridWorkload interleaves the three streams of the paper's evaluation:
+// cube-able scans (levels 0-2), expensive level-3 sub-cube scans, and
+// text-predicate queries that need translation.
+func hybridWorkload(sys *engine.System, n int) ([]*query.Query, error) {
+	ft := sys.Config().Table
+	s := ft.Schema()
+	qs := make([]*query.Query, 0, n)
+	for i := 0; len(qs) < n; i++ {
+		id := int64(len(qs) + 1)
+		switch i % 3 {
+		case 0:
+			qs = append(qs, levelScan(s, id, i/3%3, 1.0, true))
+		case 1:
+			qs = append(qs, levelScan(s, id, 3, Table2SubFrac, false))
+		default:
+			col := "store_name"
+			if i%2 == 0 {
+				col = "customer_city"
+			}
+			q, err := textQuery(ft, id, col, i)
+			if err != nil {
+				return nil, err
+			}
+			qs = append(qs, q)
+		}
+	}
+	return qs, nil
+}
+
+// Table3 reproduces "Processing rate of GPU accelerated OLAP system":
+// the full hybrid system under the Fig. 10 scheduler for 1/4/8 CPU
+// threads, plus the GPU-only reference row.
+func Table3(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "Hybrid system processing rate (CPU + GPU, Fig. 10 scheduler)",
+		Columns: []string{"config", "measured [q/s]", "met deadline", "paper [q/s]"},
+		Notes: []string{
+			"workload: 1/3 cube scans (L0-2), 1/3 32GB sub-cube scans (L3), 1/3 text queries",
+			"paper-scale dictionaries via VirtualDictLens; deadline T_C = 0.25s",
+			"absolute q/s differ from the paper (its published P_GPU functions imply ~480 q/s",
+			"GPU capacity yet it reports 64-69 q/s; shapes and orderings are the comparison)",
+		},
+	}
+	n := opts.pick(1200, 400)
+
+	type cfg struct {
+		label   string
+		threads int
+		policy  sched.Policy
+		paper   string
+	}
+	cases := []cfg{
+		{"hybrid 1T", 1, sched.PolicyPaper, "102"},
+		{"hybrid 4T", 4, sched.PolicyPaper, "206"},
+		{"hybrid 8T", 8, sched.PolicyPaper, "228"},
+		{"gpu-only", 8, sched.PolicyGPUOnly, "64"},
+	}
+	for _, c := range cases {
+		sys, err := hybridSystem(c.threads, c.policy, opts.seed(), nil)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := hybridWorkload(sys, n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.RunModel(qs, engine.ModelOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c.label, f(res.Throughput),
+			fmt.Sprintf("%d/%d", res.MetDeadline, res.Completed),
+			c.paper,
+		})
+	}
+	return t, nil
+}
+
+// TranslationOverhead reproduces the Sec. IV measurement: the GPU-only
+// system over a text workload, with translation active versus the same
+// workload pre-translated ("original implementation without string
+// support"). The paper measured 64 vs 69 q/s, a ~7% slowdown.
+func TranslationOverhead(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "translation",
+		Title:   "Text-to-integer translation overhead (GPU-only, all-text workload)",
+		Columns: []string{"variant", "measured [q/s]", "slowdown", "paper"},
+		Notes: []string{
+			"paper: 69 -> 64 q/s, ~7% slowdown; the overhead is a function of dictionary",
+			"length D_L — the paper's single operating point lands on this curve",
+		},
+	}
+	n := opts.pick(600, 150)
+
+	run := func(preTranslate bool, dictLen int) (float64, error) {
+		sys, err := hybridSystem(8, sched.PolicyGPUOnly, opts.seed(), func(sp *engine.SetupSpec) {
+			sp.VirtualDictLens = map[string]int{"store_name": dictLen}
+		})
+		if err != nil {
+			return 0, err
+		}
+		ft := sys.Config().Table
+		qs := make([]*query.Query, n)
+		for i := range qs {
+			q, err := textQuery(ft, int64(i+1), "store_name", i)
+			if err != nil {
+				return 0, err
+			}
+			if preTranslate {
+				if _, err := query.Translate(q, ft.Dicts()); err != nil {
+					return 0, err
+				}
+			}
+			qs[i] = q
+		}
+		res, err := sys.RunModel(qs, engine.ModelOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Throughput, nil
+	}
+
+	without, err := run(true, 150_000)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"without translation", f(without), "-", "69 q/s"})
+	for _, dl := range []int{10_000, 50_000, 100_000, 150_000} {
+		with, err := run(false, dl)
+		if err != nil {
+			return nil, err
+		}
+		slow := 0.0
+		if without > 0 {
+			slow = (1 - with/without) * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("with translation, D_L=%d", dl), f(with),
+			fmt.Sprintf("%.1f%%", slow), "64 q/s (~7%)",
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+// Package gpusim simulates the GPU accelerator of the hybrid OLAP system.
+//
+// The paper runs on an NVIDIA Tesla C2070 (Fermi, 14 SMs, concurrent
+// kernel execution). Go has no CUDA, so this package substitutes a
+// functional simulator with the two properties the rest of the system
+// depends on:
+//
+//  1. Functional behaviour — a partition really executes the paper's
+//     GPU pipeline (parallel table scan over column stripes, parallel
+//     reduction, final aggregation) against the in-memory columnar fact
+//     table, with one goroutine per simulated SM. Results are bit-exact
+//     with a sequential scan.
+//
+//  2. Timing behaviour — query service times come from the calibrated
+//     partition performance models P_GPU(C/C_TOT, n_SM) (eqs. 14–15),
+//     the same functions the paper measured on real hardware, so the
+//     scheduler sees the same cost landscape.
+//
+// The device supports the paper's static partitioning: disjoint groups of
+// SMs, each with its own queue, all sharing the full global memory and
+// every loaded table ("any partition can answer any query", Sec. III-G).
+package gpusim
+
+import (
+	"fmt"
+
+	"hybridolap/internal/perfmodel"
+	"hybridolap/internal/table"
+)
+
+// DeviceSpec describes a simulated accelerator.
+type DeviceSpec struct {
+	Name           string
+	SMs            int
+	GlobalMemBytes int64
+	// Models maps partition SM count to its performance function.
+	Models map[int]perfmodel.GPUModel
+}
+
+// TeslaC2070 returns the paper's accelerator: 14 active SMs, 6 GB GDDR5,
+// and the published partition models.
+func TeslaC2070() DeviceSpec {
+	return DeviceSpec{
+		Name:           "Tesla C2070 (simulated)",
+		SMs:            14,
+		GlobalMemBytes: 6 << 30,
+		Models:         perfmodel.PaperGPUModels(),
+	}
+}
+
+// PaperLayout is the partition layout the scheduler uses: "2 partitions
+// have 1 SM each, 2 partitions have 2 SMs each, and last two partitions
+// have 4 SMs each" (Sec. III-G), totalling 14 SMs.
+func PaperLayout() []int { return []int{1, 1, 2, 2, 4, 4} }
+
+// Device is a simulated GPU with a loaded fact table and a static
+// partition layout.
+type Device struct {
+	spec       DeviceSpec
+	ft         *table.FactTable
+	partitions []*Partition
+}
+
+// NewDevice validates the spec and returns an unpartitioned device.
+func NewDevice(spec DeviceSpec) (*Device, error) {
+	if spec.SMs <= 0 {
+		return nil, fmt.Errorf("gpusim: device needs at least one SM")
+	}
+	if spec.GlobalMemBytes <= 0 {
+		return nil, fmt.Errorf("gpusim: device needs positive global memory")
+	}
+	if len(spec.Models) == 0 {
+		return nil, fmt.Errorf("gpusim: device needs at least one performance model")
+	}
+	return &Device{spec: spec}, nil
+}
+
+// Spec returns the device description.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// LoadTable places a fact table in global memory. It fails when the table
+// does not fit — the constraint that forces dictionary encoding of text
+// columns in the first place.
+func (d *Device) LoadTable(ft *table.FactTable) error {
+	if ft.SizeBytes() > d.spec.GlobalMemBytes {
+		return fmt.Errorf("gpusim: table needs %d bytes, device has %d",
+			ft.SizeBytes(), d.spec.GlobalMemBytes)
+	}
+	d.ft = ft
+	return nil
+}
+
+// Table returns the loaded fact table (nil when none).
+func (d *Device) Table() *table.FactTable { return d.ft }
+
+// Partition installs a static layout: one partition per entry, holding
+// that many SMs. The layout must fit the device and every width must have
+// a performance model.
+func (d *Device) Partition(layout []int) error {
+	if len(layout) == 0 {
+		return fmt.Errorf("gpusim: empty partition layout")
+	}
+	total := 0
+	for i, sms := range layout {
+		if sms <= 0 {
+			return fmt.Errorf("gpusim: partition %d has %d SMs", i, sms)
+		}
+		if _, ok := d.spec.Models[sms]; !ok {
+			return fmt.Errorf("gpusim: no performance model for %d-SM partition", sms)
+		}
+		total += sms
+	}
+	if total > d.spec.SMs {
+		return fmt.Errorf("gpusim: layout uses %d SMs, device has %d", total, d.spec.SMs)
+	}
+	d.partitions = make([]*Partition, len(layout))
+	for i, sms := range layout {
+		d.partitions[i] = &Partition{id: i, sms: sms, dev: d}
+	}
+	return nil
+}
+
+// Partitions returns the installed partitions.
+func (d *Device) Partitions() []*Partition { return d.partitions }
+
+// EstimateSeconds evaluates P_GPU for a partition width: the estimated
+// service time of a query touching cols of totalCols columns.
+func (d *Device) EstimateSeconds(sms, cols, totalCols int) (float64, error) {
+	m, ok := d.spec.Models[sms]
+	if !ok {
+		return 0, fmt.Errorf("gpusim: no performance model for %d SMs", sms)
+	}
+	if totalCols <= 0 {
+		return 0, fmt.Errorf("gpusim: totalCols must be positive")
+	}
+	return m.Eval(float64(cols) / float64(totalCols)), nil
+}

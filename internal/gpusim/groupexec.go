@@ -1,0 +1,87 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridolap/internal/table"
+)
+
+// ExecuteGroup runs a grouped query on this partition with the same
+// pipeline as Execute: a parallel table scan over row stripes builds
+// per-SM hash tables keyed by the packed group key, a parallel reduction
+// merges them, and the finalised per-group rows return sorted by key.
+func (p *Partition) ExecuteGroup(req table.GroupScanRequest) ([]table.GroupRow, error) {
+	ft := p.dev.ft
+	if ft == nil {
+		return nil, fmt.Errorf("gpusim: no table loaded")
+	}
+	rows := ft.Rows()
+	stripes := p.sms * StripesPerSM
+	if stripes > rows {
+		stripes = rows
+	}
+	if stripes <= 1 {
+		g, err := table.GroupScanRange(ft, req, 0, rows)
+		if err != nil {
+			return nil, err
+		}
+		p.done()
+		return table.FinalizeGroups(req.Op, g, len(req.GroupBy)), nil
+	}
+
+	stripeLen := (rows + stripes - 1) / stripes
+	var next int
+	var nextMu sync.Mutex
+	takeStripe := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= stripes {
+			return -1
+		}
+		s := next
+		next++
+		return s
+	}
+	partials := make([]table.Groups, p.sms)
+	errs := make([]error, p.sms)
+	var wg sync.WaitGroup
+	for sm := 0; sm < p.sms; sm++ {
+		wg.Add(1)
+		go func(sm int) {
+			defer wg.Done()
+			var acc table.Groups
+			for {
+				s := takeStripe()
+				if s < 0 {
+					break
+				}
+				lo := s * stripeLen
+				hi := lo + stripeLen
+				if hi > rows {
+					hi = rows
+				}
+				if lo >= hi {
+					continue
+				}
+				part, err := table.GroupScanRange(ft, req, lo, hi)
+				if err != nil {
+					errs[sm] = err
+					return
+				}
+				acc = table.MergeGroups(req.Op, acc, part)
+			}
+			partials[sm] = acc
+		}(sm)
+	}
+	wg.Wait()
+	var acc table.Groups
+	for sm := 0; sm < p.sms; sm++ {
+		if errs[sm] != nil {
+			return nil, errs[sm]
+		}
+		acc = table.MergeGroups(req.Op, acc, partials[sm])
+	}
+	p.done()
+	return table.FinalizeGroups(req.Op, acc, len(req.GroupBy)), nil
+}

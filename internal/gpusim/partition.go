@@ -1,0 +1,137 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+)
+import "hybridolap/internal/table"
+
+// StripesPerSM controls how many row stripes each simulated SM consumes.
+// More stripes than SMs gives the same load-balancing slack real thread
+// blocks give hardware SMs.
+const StripesPerSM = 8
+
+// Partition is a disjoint group of SMs with concurrent-kernel access to
+// the whole device memory. Execute is safe to call concurrently on
+// different partitions (Fermi-style concurrent kernel execution); each
+// call runs its own fork/join over the partition's SMs.
+type Partition struct {
+	id  int
+	sms int
+	dev *Device
+
+	mu        sync.Mutex
+	completed int64
+}
+
+// ID returns the partition index within the layout.
+func (p *Partition) ID() int { return p.id }
+
+// SMs returns the number of streaming multiprocessors allocated.
+func (p *Partition) SMs() int { return p.sms }
+
+// Completed returns the number of kernels this partition has finished.
+func (p *Partition) Completed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.completed
+}
+
+// EstimateSeconds evaluates this partition's P_GPU for a query touching
+// cols of totalCols columns.
+func (p *Partition) EstimateSeconds(cols, totalCols int) (float64, error) {
+	return p.dev.EstimateSeconds(p.sms, cols, totalCols)
+}
+
+// Execute runs the paper's GPU query pipeline on this partition:
+//
+//	step 2 — parallel table scan: the row space is cut into
+//	         SMs×StripesPerSM stripes; one goroutine per SM drains
+//	         stripes from a shared index, filtering and accumulating
+//	         thread-local intermediate values;
+//	step 3 — parallel reduction: per-SM partials merge pairwise;
+//	step 4 — final aggregation: the finalised aggregate is returned to
+//	         the caller (the CPU side).
+//
+// Step 1 (CPU preprocessing: query decomposition and text translation)
+// happens before Execute is called.
+func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
+	ft := p.dev.ft
+	if ft == nil {
+		return table.ScanResult{}, fmt.Errorf("gpusim: no table loaded")
+	}
+	rows := ft.Rows()
+	stripes := p.sms * StripesPerSM
+	if stripes > rows {
+		stripes = rows
+	}
+	if stripes <= 1 {
+		res, err := table.ScanRange(ft, req, 0, rows)
+		if err != nil {
+			return table.ScanResult{}, err
+		}
+		p.done()
+		return table.Finalize(req.Op, res), nil
+	}
+
+	stripeLen := (rows + stripes - 1) / stripes
+	var next int64 // shared stripe cursor
+	partials := make([]table.ScanResult, p.sms)
+	errs := make([]error, p.sms)
+	var wg sync.WaitGroup
+	var nextMu sync.Mutex
+	takeStripe := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if int(next) >= stripes {
+			return -1
+		}
+		s := int(next)
+		next++
+		return s
+	}
+	for sm := 0; sm < p.sms; sm++ {
+		wg.Add(1)
+		go func(sm int) {
+			defer wg.Done()
+			var acc table.ScanResult
+			for {
+				s := takeStripe()
+				if s < 0 {
+					break
+				}
+				lo := s * stripeLen
+				hi := lo + stripeLen
+				if hi > rows {
+					hi = rows
+				}
+				if lo >= hi {
+					continue
+				}
+				part, err := table.ScanRange(ft, req, lo, hi)
+				if err != nil {
+					errs[sm] = err
+					return
+				}
+				acc = table.Merge(req.Op, acc, part)
+			}
+			partials[sm] = acc
+		}(sm)
+	}
+	wg.Wait()
+	var acc table.ScanResult
+	for sm := 0; sm < p.sms; sm++ {
+		if errs[sm] != nil {
+			return table.ScanResult{}, errs[sm]
+		}
+		acc = table.Merge(req.Op, acc, partials[sm])
+	}
+	p.done()
+	return table.Finalize(req.Op, acc), nil
+}
+
+func (p *Partition) done() {
+	p.mu.Lock()
+	p.completed++
+	p.mu.Unlock()
+}

@@ -1,0 +1,158 @@
+package membench
+
+import (
+	"testing"
+
+	"hybridolap/internal/perfmodel"
+)
+
+func TestCPUSweepShapes(t *testing.T) {
+	pts, err := CPUSweep([]float64{1, 4, 16}, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Seconds <= 0 || p.BandwidthMBs <= 0 {
+			t.Fatalf("point %d degenerate: %+v", i, p)
+		}
+		// Requested and actual sizes agree within the cell rounding.
+		if p.SizeMB < 0.5 {
+			t.Fatalf("point %d too small: %+v", i, p)
+		}
+	}
+	// Time grows with size.
+	if !(pts[2].Seconds > pts[0].Seconds) {
+		t.Fatalf("time not increasing: %+v", pts)
+	}
+}
+
+func TestCPUSweepRejectsTinySize(t *testing.T) {
+	if _, err := CPUSweep([]float64{0.00001}, 1, 1, 1); err == nil {
+		t.Fatal("microscopic size accepted")
+	}
+}
+
+func TestCPUPointsFitPowerLaw(t *testing.T) {
+	// Small-range sweep should fit a power law with positive exponent, the
+	// f_A shape of Figs. 4–5.
+	pts, err := CPUSweep([]float64{1, 2, 4, 8, 16}, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := perfmodel.FitPowerLaw(CPUPointsForFit(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Exp <= 0.3 || pl.Exp > 1.8 {
+		t.Fatalf("power-law exponent = %v, out of plausible range", pl.Exp)
+	}
+	if r := perfmodel.RSquared(CPUPointsForFit(pts), pl.Eval); r < 0.8 {
+		t.Fatalf("R² = %v", r)
+	}
+}
+
+func TestDictSweepLinearShape(t *testing.T) {
+	pts, err := DictSweep([]int{1000, 4000, 16000}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Per-lookup cost grows with dictionary size (linear scan).
+	if !(pts[2].SecondsPerLookup > pts[0].SecondsPerLookup) {
+		t.Fatalf("dict cost not increasing: %+v", pts)
+	}
+	m, err := perfmodel.FitDictModel(DictPointsForFit(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SecondsPerEntry <= 0 {
+		t.Fatalf("fitted slope = %v", m.SecondsPerEntry)
+	}
+}
+
+func TestGPUSweepShapes(t *testing.T) {
+	pts, err := GPUSweep(100_000, []int{1, 4}, 6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("points = %d, want 12", len(pts))
+	}
+	// Time grows with column count within one width.
+	one := GPUPointsForFit(pts, 1)
+	if len(one) != 6 {
+		t.Fatalf("1-SM points = %d", len(one))
+	}
+	if !(one[5].Y > one[0].Y) {
+		t.Fatalf("1-SM time not increasing: %+v", one)
+	}
+	// Fit is linear-ish with positive slope.
+	m, err := perfmodel.FitGPUModel(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slope <= 0 {
+		t.Fatalf("fitted slope = %v", m.Slope)
+	}
+	// The calibrated model attached to every point preserves the paper's
+	// ordering: wider partitions estimate strictly faster. (Host wall times
+	// for sub-millisecond kernels are too noisy to assert cross-width
+	// speedups; that property is asserted on larger kernels in the root
+	// benchmark suite.)
+	for _, p := range pts {
+		if p.Estimated <= 0 {
+			t.Fatalf("missing model estimate: %+v", p)
+		}
+	}
+	var est1, est4 float64
+	for _, p := range pts {
+		if p.Columns == 6 {
+			if p.SMs == 1 {
+				est1 = p.Estimated
+			}
+			if p.SMs == 4 {
+				est4 = p.Estimated
+			}
+		}
+	}
+	if est4 >= est1 {
+		t.Fatalf("model ordering violated: 1SM=%v 4SM=%v", est1, est4)
+	}
+}
+
+func TestTranslationAlgoSweep(t *testing.T) {
+	pts, err := TranslationAlgoSweep([]int{500, 4000}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 algorithms x 2 sizes.
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byAlgo := map[string][]AlgoPoint{}
+	for _, p := range pts {
+		if p.SecondsPerLookup <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		byAlgo[p.Algo] = append(byAlgo[p.Algo], p)
+	}
+	if len(byAlgo) != 5 {
+		t.Fatalf("algorithms = %v", byAlgo)
+	}
+	// The linear dictionary must grow with size; the hash must not grow
+	// anywhere near linearly.
+	lin := byAlgo["linear"]
+	if !(lin[1].SecondsPerLookup > lin[0].SecondsPerLookup) {
+		t.Fatalf("linear cost not increasing: %+v", lin)
+	}
+	hash := byAlgo["hash"]
+	if hash[1].SecondsPerLookup > lin[1].SecondsPerLookup {
+		t.Fatalf("hash (%v) slower than linear (%v) at 4000 entries",
+			hash[1].SecondsPerLookup, lin[1].SecondsPerLookup)
+	}
+}

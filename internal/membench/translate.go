@@ -1,0 +1,82 @@
+package membench
+
+import (
+	"fmt"
+	"time"
+
+	"hybridolap/internal/dict"
+	"hybridolap/internal/tpcds"
+)
+
+// AlgoPoint is one translation-algorithm measurement.
+type AlgoPoint struct {
+	Algo             string
+	Entries          int
+	SecondsPerLookup float64
+}
+
+// TranslationAlgoSweep measures per-lookup translation cost across
+// dictionary implementations — the paper's naive linear search (the eq. 17
+// cost the system pays) against the sorted, hash and trie dictionaries and
+// Aho–Corasick batch translation (the "more sophisticated translation
+// algorithm" the paper's conclusion defers to future work).
+func TranslationAlgoSweep(sizes []int, lookups int) ([]AlgoPoint, error) {
+	if lookups < 1 {
+		lookups = 1
+	}
+	var out []AlgoPoint
+	for _, n := range sizes {
+		// One entry corpus, all implementations share codes.
+		base, err := tpcds.Dictionary(n, dict.KindSorted, tpcds.CityName)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]string, base.Len())
+		for i := range entries {
+			entries[i], _ = base.Decode(dict.ID(i))
+		}
+		probes := make([]string, lookups)
+		for i := range probes {
+			probes[i] = entries[(i*7919)%n]
+		}
+
+		kinds := []struct {
+			name  string
+			build func() (dict.Dictionary, error)
+		}{
+			{"linear", func() (dict.Dictionary, error) { return dict.NewLinear(entries) }},
+			{"sorted", func() (dict.Dictionary, error) { return dict.NewSorted(entries) }},
+			{"hash", func() (dict.Dictionary, error) { return dict.NewHash(entries) }},
+			{"trie", func() (dict.Dictionary, error) { return dict.NewTrie(entries) }},
+		}
+		for _, k := range kinds {
+			d, err := k.build()
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			for _, p := range probes {
+				if _, ok := d.Lookup(p); !ok {
+					return nil, fmt.Errorf("membench: probe %q missing from %s", p, k.name)
+				}
+			}
+			el := time.Since(t0).Seconds()
+			out = append(out, AlgoPoint{Algo: k.name, Entries: n, SecondsPerLookup: el / float64(lookups)})
+		}
+
+		m, err := dict.NewMatcher(entries)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		ids := m.LookupBatch(probes)
+		el := time.Since(t0).Seconds()
+		for i, id := range ids {
+			if id == dict.NotFound {
+				return nil, fmt.Errorf("membench: batch probe %q missing", probes[i])
+			}
+		}
+		out = append(out, AlgoPoint{Algo: "aho-corasick batch", Entries: n, SecondsPerLookup: el / float64(lookups)})
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one measurement: x (size, fraction, length…) and y (seconds).
+type Point struct {
+	X, Y float64
+}
+
+// FitLinear computes the least-squares line through the points.
+func FitLinear(pts []Point) (Linear, error) {
+	if len(pts) < 2 {
+		return Linear{}, fmt.Errorf("perfmodel: need >= 2 points, got %d", len(pts))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(pts))
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Linear{}, fmt.Errorf("perfmodel: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	return Linear{Slope: slope, Intercept: (sy - slope*sx) / n}, nil
+}
+
+// FitLinearThroughOrigin fits y = Slope·x (the shape of P_DICT, Fig. 9).
+func FitLinearThroughOrigin(pts []Point) (Linear, error) {
+	if len(pts) < 1 {
+		return Linear{}, fmt.Errorf("perfmodel: need >= 1 point")
+	}
+	var sxx, sxy float64
+	for _, p := range pts {
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+	}
+	if sxx == 0 {
+		return Linear{}, fmt.Errorf("perfmodel: degenerate x values")
+	}
+	return Linear{Slope: sxy / sxx}, nil
+}
+
+// FitPowerLaw fits y = Coef·x^Exp by least squares in log-log space (the
+// shape of f_A in Figs. 4 and 5). All points must have positive x and y.
+func FitPowerLaw(pts []Point) (PowerLaw, error) {
+	logs := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.X <= 0 || p.Y <= 0 {
+			return PowerLaw{}, fmt.Errorf("perfmodel: power-law fit needs positive points, got (%v,%v)", p.X, p.Y)
+		}
+		logs = append(logs, Point{X: math.Log(p.X), Y: math.Log(p.Y)})
+	}
+	l, err := FitLinear(logs)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{Coef: math.Exp(l.Intercept), Exp: l.Slope}, nil
+}
+
+// RSquared returns the coefficient of determination of model predictions
+// f(x) against the measured y values.
+func RSquared(pts []Point, f func(float64) float64) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, p := range pts {
+		mean += p.Y
+	}
+	mean /= float64(len(pts))
+	var ssTot, ssRes float64
+	for _, p := range pts {
+		d := p.Y - mean
+		ssTot += d * d
+		r := p.Y - f(p.X)
+		ssRes += r * r
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// FitCPUModel derives a two-piece CPU model from measurements, splitting at
+// breakMB exactly as the paper does ("the full range is divided into Range
+// A ... and Range B ... where each range uses a different estimation
+// function ... chosen based on best fit", Sec. III-D). Each side needs at
+// least two points.
+func FitCPUModel(pts []Point, breakMB float64) (CPUModel, error) {
+	var a, b []Point
+	for _, p := range pts {
+		if p.X < breakMB {
+			a = append(a, p)
+		} else {
+			b = append(b, p)
+		}
+	}
+	pl, err := FitPowerLaw(a)
+	if err != nil {
+		return CPUModel{}, fmt.Errorf("perfmodel: range A fit: %w", err)
+	}
+	ln, err := FitLinear(b)
+	if err != nil {
+		return CPUModel{}, fmt.Errorf("perfmodel: range B fit: %w", err)
+	}
+	return CPUModel{BreakMB: breakMB, A: pl, B: ln}, nil
+}
+
+// FitGPUModel derives P_GPU for one partition width from (C/C_TOT, time)
+// measurements, matching how Fig. 8's lines were produced.
+func FitGPUModel(pts []Point) (GPUModel, error) {
+	return FitLinear(pts)
+}
+
+// FitDictModel derives P_DICT from (dictionary length, per-lookup time)
+// measurements: a line through the origin, as in Fig. 9.
+func FitDictModel(pts []Point) (DictModel, error) {
+	l, err := FitLinearThroughOrigin(pts)
+	if err != nil {
+		return DictModel{}, err
+	}
+	return DictModel{SecondsPerEntry: l.Slope}, nil
+}

@@ -1,0 +1,205 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hybridolap/internal/dict"
+	"hybridolap/internal/table"
+)
+
+// GenConfig tunes the synthetic workload generator. The mix of condition
+// levels decides how many queries the CPU cubes can answer versus how many
+// are GPU-bound, so the presets used by the experiments mirror the paper's
+// evaluation mixes.
+type GenConfig struct {
+	Schema *table.Schema
+	Seed   int64
+
+	// CondProb is the probability each dimension receives a condition.
+	// Default 0.8.
+	CondProb float64
+	// LevelWeights weight the resolution level drawn for each condition;
+	// index = level. Default: uniform over the dimension's levels.
+	LevelWeights []float64
+	// MeanSelectivity is the mean fraction of a level's cardinality covered
+	// by a condition range. Default 0.1.
+	MeanSelectivity float64
+	// TextProb is the probability each text column receives a predicate.
+	// Default 0 (no text predicates).
+	TextProb float64
+	// TextRangeProb is the probability a text predicate is a range rather
+	// than an equality. Default 0.
+	TextRangeProb float64
+	// TextInProb is the probability a text predicate is an IN list of 2-4
+	// literals (checked before TextRangeProb). Default 0.
+	TextInProb float64
+	// MissProb is the probability a generated text literal is absent from
+	// the dictionary (exercising the Empty translation path). Default 0.
+	MissProb float64
+	// Dicts supplies literals for text predicates; required when
+	// TextProb > 0.
+	Dicts *dict.Set
+	// Ops to draw uniformly. Default {AggSum}.
+	Ops []table.AggOp
+	// MeasureChoice restricts which measures queries aggregate (drawn
+	// uniformly). Default: all measures in the schema.
+	MeasureChoice []int
+}
+
+// Generator produces a deterministic stream of valid queries.
+type Generator struct {
+	cfg    GenConfig
+	rng    *rand.Rand
+	nextID int64
+}
+
+// NewGenerator validates the config and seeds the stream.
+func NewGenerator(cfg GenConfig) (*Generator, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("query: generator needs a schema")
+	}
+	if cfg.CondProb == 0 {
+		cfg.CondProb = 0.8
+	}
+	if cfg.MeanSelectivity == 0 {
+		cfg.MeanSelectivity = 0.1
+	}
+	if len(cfg.Ops) == 0 {
+		cfg.Ops = []table.AggOp{table.AggSum}
+	}
+	if cfg.TextProb > 0 {
+		if cfg.Dicts == nil {
+			return nil, fmt.Errorf("query: TextProb > 0 requires Dicts")
+		}
+		if len(cfg.Schema.Texts) == 0 {
+			return nil, fmt.Errorf("query: TextProb > 0 but schema has no text columns")
+		}
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// pickLevel draws a level for a dimension according to LevelWeights,
+// clamped to the dimension's finest level.
+func (g *Generator) pickLevel(dim table.DimensionSpec) int {
+	w := g.cfg.LevelWeights
+	if len(w) == 0 {
+		return g.rng.Intn(dim.Finest() + 1)
+	}
+	n := dim.Finest() + 1
+	if len(w) < n {
+		n = len(w)
+	}
+	total := 0.0
+	for _, x := range w[:n] {
+		total += x
+	}
+	if total <= 0 {
+		return 0
+	}
+	r := g.rng.Float64() * total
+	for i, x := range w[:n] {
+		r -= x
+		if r <= 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// pickRange draws an inclusive range covering ~MeanSelectivity of card.
+func (g *Generator) pickRange(card int) (uint32, uint32) {
+	frac := g.cfg.MeanSelectivity * g.rng.ExpFloat64()
+	if frac > 1 {
+		frac = 1
+	}
+	width := int(frac * float64(card))
+	if width < 1 {
+		width = 1
+	}
+	if width > card {
+		width = card
+	}
+	from := g.rng.Intn(card - width + 1)
+	return uint32(from), uint32(from + width - 1)
+}
+
+// literal draws a stored dictionary value (or a guaranteed miss).
+func (g *Generator) literal(col string) string {
+	if g.cfg.MissProb > 0 && g.rng.Float64() < g.cfg.MissProb {
+		return fmt.Sprintf("\x7fmissing-%d", g.rng.Int63())
+	}
+	d, ok := g.cfg.Dicts.Get(col)
+	if !ok || d.Len() == 0 {
+		return fmt.Sprintf("\x7fmissing-%d", g.rng.Int63())
+	}
+	s, _ := d.Decode(dict.ID(g.rng.Intn(d.Len())))
+	return s
+}
+
+// Next returns the next query in the stream. The query always carries at
+// least one dimension condition so that its resolution is meaningful.
+func (g *Generator) Next() *Query {
+	s := g.cfg.Schema
+	g.nextID++
+	q := &Query{ID: g.nextID, Op: g.cfg.Ops[g.rng.Intn(len(g.cfg.Ops))]}
+	if q.Op != table.AggCount && len(s.Measures) > 0 {
+		if len(g.cfg.MeasureChoice) > 0 {
+			q.Measure = g.cfg.MeasureChoice[g.rng.Intn(len(g.cfg.MeasureChoice))]
+		} else {
+			q.Measure = g.rng.Intn(len(s.Measures))
+		}
+	}
+	for d, dim := range s.Dimensions {
+		if g.rng.Float64() >= g.cfg.CondProb {
+			continue
+		}
+		lvl := g.pickLevel(dim)
+		from, to := g.pickRange(dim.Levels[lvl].Cardinality)
+		q.Conditions = append(q.Conditions, Condition{Dim: d, Level: lvl, From: from, To: to})
+	}
+	if len(q.Conditions) == 0 {
+		// Guarantee at least one condition on a random dimension.
+		d := g.rng.Intn(len(s.Dimensions))
+		dim := s.Dimensions[d]
+		lvl := g.pickLevel(dim)
+		from, to := g.pickRange(dim.Levels[lvl].Cardinality)
+		q.Conditions = append(q.Conditions, Condition{Dim: d, Level: lvl, From: from, To: to})
+	}
+	if g.cfg.TextProb > 0 {
+		for _, tc := range s.Texts {
+			if g.rng.Float64() >= g.cfg.TextProb {
+				continue
+			}
+			if g.cfg.TextInProb > 0 && g.rng.Float64() < g.cfg.TextInProb {
+				n := g.rng.Intn(3) + 2
+				lits := make([]string, n)
+				for i := range lits {
+					lits[i] = g.literal(tc.Name)
+				}
+				q.TextConds = append(q.TextConds, TextCondition{Column: tc.Name, In: lits})
+				continue
+			}
+			a := g.literal(tc.Name)
+			if g.cfg.TextRangeProb > 0 && g.rng.Float64() < g.cfg.TextRangeProb {
+				b := g.literal(tc.Name)
+				if a > b {
+					a, b = b, a
+				}
+				q.TextConds = append(q.TextConds, TextCondition{Column: tc.Name, From: a, To: b})
+			} else {
+				q.TextConds = append(q.TextConds, TextCondition{Column: tc.Name, From: a, To: a})
+			}
+		}
+	}
+	return q
+}
+
+// Batch returns the next n queries.
+func (g *Generator) Batch(n int) []*Query {
+	out := make([]*Query, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

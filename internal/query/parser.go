@@ -1,0 +1,397 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hybridolap/internal/table"
+)
+
+// Parse reads one query in a compact SQL-like surface syntax:
+//
+//	SELECT <agg>(<measure>) [WHERE <cond> [AND <cond>]...]
+//
+// where <agg> is sum|count|min|max|avg (count also accepts *), a dimension
+// condition is written against a "dim.level" column reference,
+//
+//	time.month BETWEEN 3 AND 7
+//	geo.region = 2
+//
+// and a text condition against a bare text-column name with string
+// literals:
+//
+//	store_name = 'ACME #042'
+//	customer_city BETWEEN 'aachen' AND 'boston'
+//
+// Keywords are case-insensitive; identifiers are case-sensitive. The parsed
+// query is validated against the schema.
+func Parse(input string, s *table.Schema) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, schema: s}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(s); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokSymbol // ( ) . = *
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '.' || c == '=' || c == '*' || c == ',':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("query: unterminated string literal at %d", i)
+				}
+				if input[j] == '\'' {
+					// '' escapes a quote inside the literal.
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < len(input) && isIdentByte(input[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	schema *table.Schema
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) keyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("query: expected %q at %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+var aggOps = map[string]table.AggOp{
+	"sum": table.AggSum, "count": table.AggCount, "min": table.AggMin,
+	"max": table.AggMax, "avg": table.AggAvg,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if t := p.next(); !p.keyword(t, "select") {
+		return nil, fmt.Errorf("query: expected SELECT at %d", t.pos)
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected aggregate function at %d", t.pos)
+	}
+	op, ok := aggOps[strings.ToLower(t.text)]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown aggregate %q", t.text)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	q := &Query{Op: op}
+	arg := p.next()
+	switch {
+	case arg.kind == tokSymbol && arg.text == "*":
+		if op != table.AggCount {
+			return nil, fmt.Errorf("query: only count accepts *")
+		}
+	case arg.kind == tokIdent:
+		m := p.schema.MeasureIndex(arg.text)
+		if m < 0 {
+			return nil, fmt.Errorf("query: unknown measure %q", arg.text)
+		}
+		q.Measure = m
+	default:
+		return nil, fmt.Errorf("query: expected measure at %d", arg.pos)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if p.keyword(p.peek(), "where") {
+		p.next()
+		for {
+			if err := p.parseCond(q); err != nil {
+				return nil, err
+			}
+			if !p.keyword(p.peek(), "and") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword(p.peek(), "group") {
+		p.next()
+		if t := p.next(); !p.keyword(t, "by") {
+			return nil, fmt.Errorf("query: expected BY after GROUP at %d", t.pos)
+		}
+		for {
+			if err := p.parseGroupRef(q); err != nil {
+				return nil, err
+			}
+			if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: unexpected %q at %d", t.text, t.pos)
+	}
+	return q, nil
+}
+
+// parseGroupRef reads one GROUP BY column: dim.level or a text column.
+func (p *parser) parseGroupRef(q *Query) error {
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("query: expected GROUP BY column at %d", name.pos)
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		lvlTok := p.next()
+		if lvlTok.kind != tokIdent {
+			return fmt.Errorf("query: expected level name at %d", lvlTok.pos)
+		}
+		d := p.schema.DimIndex(name.text)
+		if d < 0 {
+			return fmt.Errorf("query: unknown dimension %q", name.text)
+		}
+		lvl := -1
+		for i, l := range p.schema.Dimensions[d].Levels {
+			if l.Name == lvlTok.text {
+				lvl = i
+				break
+			}
+		}
+		if lvl < 0 {
+			return fmt.Errorf("query: unknown level %q in dimension %q", lvlTok.text, name.text)
+		}
+		q.GroupBy = append(q.GroupBy, GroupRef{Dim: d, Level: lvl})
+		return nil
+	}
+	if p.schema.TextIndex(name.text) < 0 {
+		return fmt.Errorf("query: %q is not a text column (dimension groupings use dim.level)", name.text)
+	}
+	q.GroupBy = append(q.GroupBy, GroupRef{Text: true, Column: name.text})
+	return nil
+}
+
+func (p *parser) parseCond(q *Query) error {
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("query: expected column reference at %d", name.pos)
+	}
+	// Dimension reference: dim.level
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		lvlTok := p.next()
+		if lvlTok.kind != tokIdent {
+			return fmt.Errorf("query: expected level name at %d", lvlTok.pos)
+		}
+		d := p.schema.DimIndex(name.text)
+		if d < 0 {
+			return fmt.Errorf("query: unknown dimension %q", name.text)
+		}
+		lvl := -1
+		for i, l := range p.schema.Dimensions[d].Levels {
+			if l.Name == lvlTok.text {
+				lvl = i
+				break
+			}
+		}
+		if lvl < 0 {
+			return fmt.Errorf("query: unknown level %q in dimension %q", lvlTok.text, name.text)
+		}
+		from, to, err := p.parseNumericPred()
+		if err != nil {
+			return err
+		}
+		q.Conditions = append(q.Conditions, Condition{Dim: d, Level: lvl, From: from, To: to})
+		return nil
+	}
+	// Text column reference.
+	if p.schema.TextIndex(name.text) < 0 {
+		return fmt.Errorf("query: %q is not a text column (dimension conditions use dim.level)", name.text)
+	}
+	if p.keyword(p.peek(), "in") {
+		p.next()
+		lits, err := p.parseInList()
+		if err != nil {
+			return err
+		}
+		q.TextConds = append(q.TextConds, TextCondition{Column: name.text, In: lits})
+		return nil
+	}
+	from, to, err := p.parseStringPred()
+	if err != nil {
+		return err
+	}
+	q.TextConds = append(q.TextConds, TextCondition{Column: name.text, From: from, To: to})
+	return nil
+}
+
+// parseInList reads ('a', 'b', ...) after IN.
+func (p *parser) parseInList() ([]string, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var lits []string
+	for {
+		v, err := p.parseString()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, v)
+		t := p.next()
+		if t.kind == tokSymbol && t.text == "," {
+			continue
+		}
+		if t.kind == tokSymbol && t.text == ")" {
+			return lits, nil
+		}
+		return nil, fmt.Errorf("query: expected , or ) in IN list at %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parseNumericPred() (uint32, uint32, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && t.text == "=":
+		v, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		return v, v, nil
+	case p.keyword(t, "between"):
+		lo, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		if t := p.next(); !p.keyword(t, "and") {
+			return 0, 0, fmt.Errorf("query: expected AND in BETWEEN at %d", t.pos)
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		return lo, hi, nil
+	default:
+		return 0, 0, fmt.Errorf("query: expected = or BETWEEN at %d", t.pos)
+	}
+}
+
+func (p *parser) parseStringPred() (string, string, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && t.text == "=":
+		v, err := p.parseString()
+		if err != nil {
+			return "", "", err
+		}
+		return v, v, nil
+	case p.keyword(t, "between"):
+		lo, err := p.parseString()
+		if err != nil {
+			return "", "", err
+		}
+		if t := p.next(); !p.keyword(t, "and") {
+			return "", "", fmt.Errorf("query: expected AND in BETWEEN at %d", t.pos)
+		}
+		hi, err := p.parseString()
+		if err != nil {
+			return "", "", err
+		}
+		return lo, hi, nil
+	default:
+		return "", "", fmt.Errorf("query: expected = or BETWEEN at %d", t.pos)
+	}
+}
+
+func (p *parser) parseNumber() (uint32, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected number at %d, got %q", t.pos, t.text)
+	}
+	v, err := strconv.ParseUint(t.text, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q: %v", t.text, err)
+	}
+	return uint32(v), nil
+}
+
+func (p *parser) parseString() (string, error) {
+	t := p.next()
+	if t.kind != tokString {
+		return "", fmt.Errorf("query: expected string literal at %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}

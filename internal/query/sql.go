@@ -1,0 +1,90 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridolap/internal/table"
+)
+
+// SQL renders the query back into the surface syntax Parse accepts, using
+// the schema for dimension and level names. Parsing the result yields a
+// semantically identical query (round-trip property, tested). Translated
+// state is not rendered — SQL is the pre-translation form.
+func (q *Query) SQL(s *table.Schema) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(q.Op.String())
+	sb.WriteString("(")
+	if q.Op == table.AggCount {
+		sb.WriteString("*")
+	} else {
+		if q.Measure < 0 || q.Measure >= len(s.Measures) {
+			return "", fmt.Errorf("query: measure %d out of range", q.Measure)
+		}
+		sb.WriteString(s.Measures[q.Measure].Name)
+	}
+	sb.WriteString(")")
+
+	var conds []string
+	for _, c := range q.Conditions {
+		if c.Dim < 0 || c.Dim >= len(s.Dimensions) {
+			return "", fmt.Errorf("query: dimension %d out of range", c.Dim)
+		}
+		dim := s.Dimensions[c.Dim]
+		if c.Level < 0 || c.Level > dim.Finest() {
+			return "", fmt.Errorf("query: level %d out of range for %q", c.Level, dim.Name)
+		}
+		ref := dim.Name + "." + dim.Levels[c.Level].Name
+		if c.From == c.To {
+			conds = append(conds, fmt.Sprintf("%s = %d", ref, c.From))
+		} else {
+			conds = append(conds, fmt.Sprintf("%s BETWEEN %d AND %d", ref, c.From, c.To))
+		}
+	}
+	for _, tc := range q.TextConds {
+		switch {
+		case len(tc.In) > 0:
+			lits := make([]string, len(tc.In))
+			for i, l := range tc.In {
+				lits[i] = quoteSQL(l)
+			}
+			conds = append(conds, fmt.Sprintf("%s IN (%s)", tc.Column, strings.Join(lits, ", ")))
+		case tc.From == tc.To:
+			conds = append(conds, fmt.Sprintf("%s = %s", tc.Column, quoteSQL(tc.From)))
+		default:
+			conds = append(conds, fmt.Sprintf("%s BETWEEN %s AND %s",
+				tc.Column, quoteSQL(tc.From), quoteSQL(tc.To)))
+		}
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(conds, " AND "))
+	}
+
+	if len(q.GroupBy) > 0 {
+		var refs []string
+		for _, g := range q.GroupBy {
+			if g.Text {
+				refs = append(refs, g.Column)
+				continue
+			}
+			if g.Dim < 0 || g.Dim >= len(s.Dimensions) {
+				return "", fmt.Errorf("query: GROUP BY dimension %d out of range", g.Dim)
+			}
+			dim := s.Dimensions[g.Dim]
+			if g.Level < 0 || g.Level > dim.Finest() {
+				return "", fmt.Errorf("query: GROUP BY level %d out of range for %q", g.Level, dim.Name)
+			}
+			refs = append(refs, dim.Name+"."+dim.Levels[g.Level].Name)
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(refs, ", "))
+	}
+	return sb.String(), nil
+}
+
+// quoteSQL wraps a literal in single quotes, doubling embedded quotes.
+func quoteSQL(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}

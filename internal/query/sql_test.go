@@ -1,0 +1,104 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"hybridolap/internal/table"
+)
+
+func TestSQLRendering(t *testing.T) {
+	s := testSchema()
+	q := &Query{
+		Conditions: []Condition{
+			{Dim: 0, Level: 1, From: 3, To: 7},
+			{Dim: 1, Level: 0, From: 2, To: 2},
+		},
+		TextConds: []TextCondition{
+			{Column: "store_name", From: "a'b", To: "a'b"},
+		},
+		GroupBy: []GroupRef{{Dim: 0, Level: 0}, {Text: true, Column: "store_name"}},
+		Measure: 0, Op: table.AggSum,
+	}
+	sql, err := q.SQL(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT sum(sales) WHERE time.month BETWEEN 3 AND 7 AND geo.region = 2 " +
+		"AND store_name = 'a''b' GROUP BY time.year, store_name"
+	if sql != want {
+		t.Fatalf("SQL = %q\nwant  %q", sql, want)
+	}
+}
+
+func TestSQLCountStar(t *testing.T) {
+	s := testSchema()
+	sql, err := (&Query{Op: table.AggCount}).SQL(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != "SELECT count(*)" {
+		t.Fatalf("SQL = %q", sql)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	s := testSchema()
+	bad := []*Query{
+		{Measure: 9, Op: table.AggSum},
+		{Op: table.AggSum, Conditions: []Condition{{Dim: 9}}},
+		{Op: table.AggSum, Conditions: []Condition{{Dim: 0, Level: 9}}},
+		{Op: table.AggSum, GroupBy: []GroupRef{{Dim: 9}}},
+		{Op: table.AggSum, GroupBy: []GroupRef{{Dim: 0, Level: 9}}},
+	}
+	for i, q := range bad {
+		if _, err := q.SQL(&s); err == nil {
+			t.Errorf("bad query %d rendered", i)
+		}
+	}
+}
+
+// queriesEquivalent compares the semantic fields (IDs differ).
+func queriesEquivalent(a, b *Query) bool {
+	return reflect.DeepEqual(a.Conditions, b.Conditions) &&
+		reflect.DeepEqual(a.TextConds, b.TextConds) &&
+		reflect.DeepEqual(a.GroupBy, b.GroupBy) &&
+		a.Measure == b.Measure && a.Op == b.Op
+}
+
+// Property: Parse(SQL(q)) == q for generated workloads, including IN lists
+// and ranges.
+func TestSQLRoundTripProperty(t *testing.T) {
+	ft := genTable(t, 300)
+	g, err := NewGenerator(GenConfig{
+		Schema:        ft.Schema(),
+		Seed:          37,
+		TextProb:      0.6,
+		TextRangeProb: 0.3,
+		TextInProb:    0.3,
+		Dicts:         ft.Dicts(),
+		Ops:           []table.AggOp{table.AggSum, table.AggCount, table.AggAvg, table.AggMin, table.AggMax},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		q := g.Next()
+		// Random GROUP BY on some queries.
+		if i%3 == 0 {
+			q.GroupBy = []GroupRef{{Dim: i % 2, Level: 0}}
+		}
+		sql, err := q.SQL(ft.Schema())
+		if err != nil {
+			t.Fatalf("query %d: SQL: %v", i, err)
+		}
+		back, err := Parse(sql, ft.Schema())
+		if err != nil {
+			t.Fatalf("query %d: Parse(%q): %v", i, sql, err)
+		}
+		q.ID, back.ID = 0, 0
+		if !queriesEquivalent(q, back) {
+			t.Fatalf("query %d round trip:\n  sql  %q\n  orig %+v\n  back %+v", i, sql, q, back)
+		}
+	}
+}

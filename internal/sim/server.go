@@ -1,0 +1,118 @@
+package sim
+
+// Server models a single-worker FIFO partition queue on the virtual
+// timeline: jobs are served one at a time, in submission order. It mirrors
+// the paper's per-partition queues (Q_CPU, Q_TRANS, Q_G1..Q_G6), each of
+// which "is aware of how many jobs are outstanding and when all its jobs
+// will be finished" (the T_Q parameter in Fig. 10).
+type Server struct {
+	loop *Loop
+	name string
+
+	// free is the virtual time at which the server drains: max(now, end of
+	// last queued job). This is exactly T_Q in the paper.
+	free Time
+
+	queued    int
+	completed int64
+	busy      Time // cumulative busy time, for utilisation reporting
+}
+
+// NewServer creates a server bound to a loop.
+func NewServer(loop *Loop, name string) *Server {
+	return &Server{loop: loop, name: name}
+}
+
+// Name returns the server's label (e.g. "GPU-1SM-a").
+func (s *Server) Name() string { return s.name }
+
+// QueueLen reports jobs submitted but not yet completed.
+func (s *Server) QueueLen() int { return s.queued }
+
+// Completed reports the number of jobs finished.
+func (s *Server) Completed() int64 { return s.completed }
+
+// BusyTime reports cumulative service time accumulated so far.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// FreeAt returns the virtual time when all currently queued jobs finish
+// (T_Q in the paper). If the server is idle it returns the current time.
+func (s *Server) FreeAt() Time {
+	if now := s.loop.Now(); s.free < now {
+		return now
+	}
+	return s.free
+}
+
+// SetFreeAt overrides the drain estimate. The paper's scheduler applies
+// feedback: "the real processing time is compared with estimated processing
+// time [and] the difference ... is used to update the value T_Q of the
+// queue". SetFreeAt is that update hook.
+func (s *Server) SetFreeAt(t Time) {
+	if now := s.loop.Now(); t < now {
+		t = now
+	}
+	s.free = t
+}
+
+// Submit enqueues a job with the given service time. done (may be nil) fires
+// at completion with the completion time. Submit returns the completion
+// time, i.e. the new T_Q.
+func (s *Server) Submit(service Time, done func(finished Time)) Time {
+	if service < 0 {
+		service = 0
+	}
+	start := s.FreeAt()
+	end := start + service
+	s.free = end
+	s.queued++
+	s.busy += service
+	s.loop.After(end-s.loop.Now(), func(now Time) {
+		s.queued--
+		s.completed++
+		if done != nil {
+			done(now)
+		}
+	})
+	return end
+}
+
+// SubmitAfter enqueues a job that additionally cannot start before
+// notBefore (used for GPU jobs gated on translation completion: the
+// paper's max(T_Q|Gi, T_Q|TRANS + T_TRANS) term). It returns the completion
+// time.
+func (s *Server) SubmitAfter(notBefore Time, service Time, done func(finished Time)) Time {
+	if service < 0 {
+		service = 0
+	}
+	start := s.FreeAt()
+	if notBefore > start {
+		start = notBefore
+	}
+	end := start + service
+	s.free = end
+	s.queued++
+	s.busy += service
+	s.loop.After(end-s.loop.Now(), func(now Time) {
+		s.queued--
+		s.completed++
+		if done != nil {
+			done(now)
+		}
+	})
+	return end
+}
+
+// Utilisation returns busy time divided by elapsed time since the epoch,
+// in [0, 1] (0 when no time has elapsed).
+func (s *Server) Utilisation() float64 {
+	elapsed := s.loop.Now()
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(s.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

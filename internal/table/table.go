@@ -1,0 +1,175 @@
+package table
+
+import (
+	"fmt"
+
+	"hybridolap/internal/dict"
+)
+
+// FactTable is an immutable columnar fact table. All dimension-level and
+// text columns are uint32 codes; measures are float64. Columns are
+// contiguous slices — the 1-D per-column layout the paper uses for maximum
+// GPU memory bandwidth.
+type FactTable struct {
+	schema Schema
+	rows   int
+
+	// dimLevels[d][l] is the code column of dimension d at level l.
+	dimLevels [][][]uint32
+	measures  [][]float64
+	texts     [][]uint32
+	dicts     *dict.Set
+}
+
+// Schema returns the table's schema.
+func (t *FactTable) Schema() *Schema { return &t.schema }
+
+// Rows returns the number of tuples.
+func (t *FactTable) Rows() int { return t.rows }
+
+// Dicts returns the per-column dictionary set for text columns (nil when
+// the table has no text columns).
+func (t *FactTable) Dicts() *dict.Set { return t.dicts }
+
+// DimLevelColumn returns the code column of (dimension, level).
+func (t *FactTable) DimLevelColumn(dim, lvl int) []uint32 {
+	return t.dimLevels[dim][lvl]
+}
+
+// MeasureColumn returns the data column of measure m.
+func (t *FactTable) MeasureColumn(m int) []float64 { return t.measures[m] }
+
+// TextColumn returns the encoded codes of text column i.
+func (t *FactTable) TextColumn(i int) []uint32 { return t.texts[i] }
+
+// SizeBytes returns the total size of all columns: 4 bytes per code cell
+// and 8 per measure cell. This is the table footprint that must fit in the
+// simulated GPU's global memory.
+func (t *FactTable) SizeBytes() int64 {
+	codes := int64(t.schema.NumDimensionColumns()+len(t.schema.Texts)) * int64(t.rows) * 4
+	meas := int64(len(t.schema.Measures)) * int64(t.rows) * 8
+	return codes + meas
+}
+
+// Builder assembles a FactTable row by row.
+type Builder struct {
+	schema   Schema
+	dimCoord [][]uint32 // finest-level coordinate per dimension
+	measures [][]float64
+	textBldr []*dict.Builder
+	textProv [][]dict.ID
+	rows     int
+}
+
+// NewBuilder validates the schema and returns an empty builder.
+func NewBuilder(schema Schema) (*Builder, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Builder{schema: schema}
+	b.dimCoord = make([][]uint32, len(schema.Dimensions))
+	b.measures = make([][]float64, len(schema.Measures))
+	b.textBldr = make([]*dict.Builder, len(schema.Texts))
+	b.textProv = make([][]dict.ID, len(schema.Texts))
+	for i := range b.textBldr {
+		b.textBldr[i] = dict.NewBuilder()
+	}
+	return b, nil
+}
+
+// Row is one input tuple for Builder.Append.
+type Row struct {
+	// Coords[d] is the coordinate in dimension d at its finest level.
+	Coords []int
+	// Measures[m] is the value of measure m.
+	Measures []float64
+	// Texts[i] is the raw string of text column i.
+	Texts []string
+}
+
+// Append adds one tuple. Coarser-level coordinates are derived from the
+// finest coordinate at build time (exact roll-up by integer division).
+func (b *Builder) Append(r Row) error {
+	if len(r.Coords) != len(b.schema.Dimensions) {
+		return fmt.Errorf("table: row has %d coords, schema has %d dimensions",
+			len(r.Coords), len(b.schema.Dimensions))
+	}
+	if len(r.Measures) != len(b.schema.Measures) {
+		return fmt.Errorf("table: row has %d measures, schema has %d",
+			len(r.Measures), len(b.schema.Measures))
+	}
+	if len(r.Texts) != len(b.schema.Texts) {
+		return fmt.Errorf("table: row has %d texts, schema has %d",
+			len(r.Texts), len(b.schema.Texts))
+	}
+	for d, c := range r.Coords {
+		card := b.schema.Dimensions[d].Levels[b.schema.Dimensions[d].Finest()].Cardinality
+		if c < 0 || c >= card {
+			return fmt.Errorf("table: coord %d out of range [0,%d) for dimension %q",
+				c, card, b.schema.Dimensions[d].Name)
+		}
+		b.dimCoord[d] = append(b.dimCoord[d], uint32(c))
+	}
+	for m, v := range r.Measures {
+		b.measures[m] = append(b.measures[m], v)
+	}
+	for i, s := range r.Texts {
+		id, err := b.textBldr[i].Add(s)
+		if err != nil {
+			return err
+		}
+		b.textProv[i] = append(b.textProv[i], id)
+	}
+	b.rows++
+	return nil
+}
+
+// Rows returns the number of tuples appended so far.
+func (b *Builder) Rows() int { return b.rows }
+
+// Build freezes the builder: derives every coarser-level column from the
+// finest coordinates, builds per-column dictionaries (order-preserving
+// Sorted kind) and rewrites provisional text codes to final codes.
+func (b *Builder) Build() (*FactTable, error) {
+	t := &FactTable{schema: b.schema, rows: b.rows}
+	t.dimLevels = make([][][]uint32, len(b.schema.Dimensions))
+	for d, spec := range b.schema.Dimensions {
+		finest := spec.Finest()
+		finestCard := spec.Levels[finest].Cardinality
+		t.dimLevels[d] = make([][]uint32, len(spec.Levels))
+		for l, lv := range spec.Levels {
+			if l == finest {
+				t.dimLevels[d][l] = b.dimCoord[d]
+				continue
+			}
+			// ratio rows of the finest level roll up into one coarse cell.
+			ratio := uint32(finestCard / lv.Cardinality)
+			col := make([]uint32, b.rows)
+			for i, c := range b.dimCoord[d] {
+				col[i] = c / ratio
+			}
+			t.dimLevels[d][l] = col
+		}
+	}
+	t.measures = b.measures
+	if len(b.schema.Texts) > 0 {
+		t.dicts = dict.NewSet()
+		t.texts = make([][]uint32, len(b.schema.Texts))
+		for i, spec := range b.schema.Texts {
+			d, remap, err := b.textBldr[i].Build(dict.KindSorted)
+			if err != nil {
+				return nil, err
+			}
+			t.dicts.Put(spec.Name, d)
+			col := make([]uint32, b.rows)
+			for r, prov := range b.textProv[i] {
+				col[r] = uint32(remap[prov])
+			}
+			t.texts[i] = col
+		}
+	}
+	return t, nil
+}
+
+// CoordAt returns the coordinate of row r in dimension d at level l.
+func (t *FactTable) CoordAt(r, d, l int) uint32 { return t.dimLevels[d][l][r] }

@@ -1,0 +1,126 @@
+// Package tpcds generates deterministic synthetic star-schema data shaped
+// like the TPC-DS fact tables the paper uses to evaluate its text-to-
+// integer translation ("Fact tables from renowned TPC-DS benchmark have
+// been used for evaluation of the translation performance", Sec. I).
+//
+// The real benchmark data is license-gated tooling output; this package
+// substitutes a combinatorial generator that produces the property the
+// translation layer actually cares about: text columns with controllable
+// distinct-value counts (dictionary lengths D_L) and realistic string
+// shapes (names, cities, brands, categories).
+package tpcds
+
+import "fmt"
+
+// Word pools used combinatorially. Sizes multiply, so a handful of pools
+// generate millions of distinct realistic strings.
+var (
+	firstNames = []string{
+		"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+		"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+		"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+		"Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
+		"Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+	}
+	lastNames = []string{
+		"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+		"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+		"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+		"Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+		"Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+	}
+	cityStems = []string{
+		"Spring", "River", "Oak", "Maple", "Cedar", "Pine", "Lake", "Hill",
+		"Fair", "Green", "Pleasant", "Union", "Salem", "George", "Clinton",
+		"Madison", "Franklin", "Liberty", "Center", "Mount", "Glen", "Ash",
+		"Birch", "Clear", "Stone", "Bridge", "Harbor", "North", "West",
+		"East",
+	}
+	citySuffixes = []string{
+		"field", "town", "ville", "burg", "port", "wood", "dale", "view",
+		"ford", "haven", "side", "crest",
+	}
+	stateAbbrs = []string{
+		"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI",
+		"ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+		"MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC",
+		"ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT",
+		"VT", "VA", "WA", "WV", "WI", "WY",
+	}
+	brandAdjectives = []string{
+		"amalg", "edu pack", "export", "import", "scholar", "brand",
+		"corp", "max", "uni", "ultra", "prime", "value",
+	}
+	categories = []string{
+		"Books", "Children", "Electronics", "Home", "Jewelry", "Men",
+		"Music", "Shoes", "Sports", "Women",
+	}
+	storeWords = []string{
+		"able", "bar", "cally", "eing", "ese", "anti", "ought", "pri",
+	}
+)
+
+// CustomerName returns the i-th synthetic "First Last" name; the space of
+// distinct names is len(firstNames)*len(lastNames)*numbered suffixes, so
+// any requested dictionary size is reachable.
+func CustomerName(i int) string {
+	f := firstNames[i%len(firstNames)]
+	l := lastNames[(i/len(firstNames))%len(lastNames)]
+	n := i / (len(firstNames) * len(lastNames))
+	if n == 0 {
+		return f + " " + l
+	}
+	return fmt.Sprintf("%s %s %d", f, l, n)
+}
+
+// CityName returns the i-th synthetic city name.
+func CityName(i int) string {
+	s := cityStems[i%len(cityStems)]
+	x := citySuffixes[(i/len(cityStems))%len(citySuffixes)]
+	n := i / (len(cityStems) * len(citySuffixes))
+	if n == 0 {
+		return s + x
+	}
+	return fmt.Sprintf("%s%s %d", s, x, n)
+}
+
+// StateName returns the i-th state abbreviation (wrapping with a numeric
+// tag past 50, for oversized dictionaries).
+func StateName(i int) string {
+	if i < len(stateAbbrs) {
+		return stateAbbrs[i]
+	}
+	return fmt.Sprintf("%s%d", stateAbbrs[i%len(stateAbbrs)], i/len(stateAbbrs))
+}
+
+// BrandName returns the i-th TPC-DS-style brand string, e.g.
+// "amalgexport #3".
+func BrandName(i int) string {
+	a := brandAdjectives[i%len(brandAdjectives)]
+	b := brandAdjectives[(i/len(brandAdjectives))%len(brandAdjectives)]
+	return fmt.Sprintf("%s%s #%d", a, b, i/(len(brandAdjectives)*len(brandAdjectives))+1)
+}
+
+// CategoryName returns the i-th category.
+func CategoryName(i int) string {
+	if i < len(categories) {
+		return categories[i]
+	}
+	return fmt.Sprintf("%s %d", categories[i%len(categories)], i/len(categories))
+}
+
+// StoreName returns the i-th TPC-DS-style store name, e.g. "able ought #4".
+func StoreName(i int) string {
+	a := storeWords[i%len(storeWords)]
+	b := storeWords[(i/len(storeWords))%len(storeWords)]
+	return fmt.Sprintf("%s %s #%d", a, b, i/(len(storeWords)*len(storeWords))+1)
+}
+
+// Pool materialises the first n values of a name function.
+func Pool(n int, f func(int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}

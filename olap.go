@@ -1,0 +1,205 @@
+// Package olap is the public facade of a hybrid CPU/GPU OLAP engine that
+// reproduces "Task Scheduling for GPU Accelerated Hybrid OLAP Systems with
+// Multi-core Support and Text-to-Integer Translation" (Malik, Riha, Shea,
+// El-Ghazawi, 2012).
+//
+// The engine answers aggregate queries from two resources:
+//
+//   - a CPU partition holding multi-resolution pre-calculated OLAP cubes,
+//     aggregated by a parallel worker pool;
+//   - a simulated GPU holding a dictionary-encoded columnar fact table,
+//     statically split into partitions that execute scan kernels
+//     concurrently.
+//
+// Every query is cost-estimated with the paper's calibrated performance
+// models and placed by the Fig. 10 deadline-aware scheduler; queries with
+// text predicates pass through a dedicated text-to-integer translation
+// partition before reaching the GPU.
+//
+// Quick start:
+//
+//	db, err := olap.Open(olap.Options{Rows: 100_000})
+//	...
+//	res, err := db.Query("SELECT sum(sales) WHERE time.month BETWEEN 0 AND 11")
+//	fmt.Println(res.Value, res.Route)
+package olap
+
+import (
+	"fmt"
+	"time"
+
+	"hybridolap/internal/engine"
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+// Options configures Open.
+type Options struct {
+	// Rows sizes the synthetic fact table (default 50 000).
+	Rows int
+	// Seed drives data generation (default 1).
+	Seed int64
+	// CubeLevels selects which resolutions are pre-calculated for the CPU
+	// partition (default levels 0 and 1).
+	CubeLevels []int
+	// CPUThreads selects the CPU performance model and real aggregation
+	// parallelism: 1, 4 or 8 (default 8).
+	CPUThreads int
+	// Deadline is the per-query time constraint T_C (default 1s).
+	Deadline time.Duration
+	// GPUOnly disables the CPU processing partition.
+	GPUOnly bool
+}
+
+// DB is an open hybrid OLAP engine.
+type DB struct {
+	sys *engine.System
+}
+
+// Open builds a complete system: synthetic fact table on the paper schema,
+// simulated Tesla C2070 with the paper's six-partition layout,
+// pre-calculated cubes and the Fig. 10 scheduler.
+func Open(opts Options) (*DB, error) {
+	spec := engine.SetupSpec{
+		Rows:       opts.Rows,
+		Seed:       opts.Seed,
+		CubeLevels: opts.CubeLevels,
+		CPUThreads: opts.CPUThreads,
+	}
+	if opts.Seed == 0 {
+		spec.Seed = 1
+	}
+	if opts.Deadline > 0 {
+		spec.DeadlineSeconds = opts.Deadline.Seconds()
+	}
+	if opts.GPUOnly {
+		spec.Policy = sched.PolicyGPUOnly
+	}
+	sys, err := engine.Setup(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{sys: sys}, nil
+}
+
+// FromSystem wraps an already-assembled engine (advanced wiring: custom
+// tables, devices, estimators or scheduler policies).
+func FromSystem(sys *engine.System) *DB { return &DB{sys: sys} }
+
+// System exposes the underlying engine for advanced use.
+func (db *DB) System() *engine.System { return db.sys }
+
+// Schema returns the fact-table schema (dimension hierarchies, measures
+// and text columns) for query construction.
+func (db *DB) Schema() *table.Schema { return db.sys.Config().Table.Schema() }
+
+// Route says which partition answered a query.
+type Route struct {
+	// Kind is "cpu" or "gpu[i]".
+	Kind string
+	// Translated reports whether text-to-integer translation ran.
+	Translated bool
+}
+
+// Result is a single query's answer.
+type Result struct {
+	// Value is the aggregate (sum, count, min, max or avg).
+	Value float64
+	// Rows is the number of fact rows (or cube cells' source rows) that
+	// matched the predicates.
+	Rows int64
+	// Route identifies the partition that produced the answer.
+	Route Route
+	// Latency is the wall-clock time from submission to answer.
+	Latency time.Duration
+}
+
+// Query parses one SQL-like query, schedules it with the paper's algorithm
+// and executes it on the chosen partition for real. Grouped queries
+// (GROUP BY) go through QueryGroups. See query.Parse for the grammar.
+func (db *DB) Query(sql string) (Result, error) {
+	q, err := query.Parse(sql, db.Schema())
+	if err != nil {
+		return Result{}, err
+	}
+	return db.Run(q)
+}
+
+// Run schedules and executes an already-built scalar query. Grouped
+// queries (GROUP BY) go through QueryGroups instead.
+func (db *DB) Run(q *query.Query) (Result, error) {
+	if err := q.Validate(db.Schema()); err != nil {
+		return Result{}, err
+	}
+	if q.Grouped() {
+		return Result{}, fmt.Errorf("olap: query %d has GROUP BY; use QueryGroups", q.ID)
+	}
+	res, err := db.sys.RunReal([]*query.Query{q})
+	if err != nil {
+		return Result{}, err
+	}
+	o := res.Outcomes[0]
+	if o.Err != nil {
+		return Result{}, o.Err
+	}
+	return Result{
+		Value:   o.Result.Value,
+		Rows:    o.Result.Rows,
+		Route:   Route{Kind: o.Queue.String(), Translated: q.GPUOnly()},
+		Latency: o.Latency,
+	}, nil
+}
+
+// Batch schedules and executes a set of scalar queries concurrently
+// across all partitions, returning per-query results in input order.
+func (db *DB) Batch(qs []*query.Query) ([]Result, error) {
+	for _, q := range qs {
+		if q.Grouped() {
+			return nil, fmt.Errorf("olap: query %d has GROUP BY; use QueryGroups", q.ID)
+		}
+	}
+	res, err := db.sys.RunReal(qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res.Outcomes))
+	for i, o := range res.Outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("olap: query %d: %w", o.ID, o.Err)
+		}
+		out[i] = Result{
+			Value:   o.Result.Value,
+			Rows:    o.Result.Rows,
+			Route:   Route{Kind: o.Queue.String(), Translated: qs[i].GPUOnly()},
+			Latency: o.Latency,
+		}
+	}
+	return out, nil
+}
+
+// Parse exposes the query parser against this database's schema.
+func (db *DB) Parse(sql string) (*query.Query, error) {
+	return query.Parse(sql, db.Schema())
+}
+
+// Explain prices and places a query without executing it: the scheduler's
+// step-2 estimates (T_CPU, per-partition T_GPU, T_TRANS) and the partition
+// Submit would choose right now.
+func (db *DB) Explain(sql string) (*engine.Explanation, error) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.sys.Explain(q)
+}
+
+// NewGenerator builds a workload generator bound to this database's schema
+// and dictionaries.
+func (db *DB) NewGenerator(cfg query.GenConfig) (*query.Generator, error) {
+	cfg.Schema = db.Schema()
+	if cfg.Dicts == nil {
+		cfg.Dicts = db.sys.Config().Table.Dicts()
+	}
+	return query.NewGenerator(cfg)
+}

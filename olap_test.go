@@ -1,0 +1,137 @@
+package olap
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hybridolap/internal/query"
+	"hybridolap/internal/table"
+)
+
+func openSmall(t testing.TB) *DB {
+	t.Helper()
+	db, err := Open(Options{Rows: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db := openSmall(t)
+	s := db.Schema()
+	if len(s.Dimensions) != 3 || len(s.Texts) != 2 {
+		t.Fatalf("schema = %+v", s)
+	}
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	db := openSmall(t)
+	res, err := db.Query("SELECT count(*) WHERE time.year BETWEEN 0 AND 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3000 || res.Value != 3000 {
+		t.Fatalf("count = (%v,%d), want all 3000 rows", res.Value, res.Rows)
+	}
+	if res.Route.Kind == "" || res.Latency <= 0 {
+		t.Fatalf("route/latency = %+v", res)
+	}
+}
+
+func TestQueryMatchesManualSum(t *testing.T) {
+	db := openSmall(t)
+	res, err := db.Query("SELECT sum(sales) WHERE time.month BETWEEN 0 AND 15 AND geo.region = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual check over the raw table.
+	ft := db.System().Config().Table
+	var want float64
+	var rows int64
+	for r := 0; r < ft.Rows(); r++ {
+		if ft.CoordAt(r, 0, 1) <= 15 && ft.CoordAt(r, 1, 0) == 1 {
+			want += ft.MeasureColumn(0)[r]
+			rows++
+		}
+	}
+	if res.Rows != rows || math.Abs(res.Value-want) > 1e-6 {
+		t.Fatalf("got (%v,%d), want (%v,%d)", res.Value, res.Rows, want, rows)
+	}
+}
+
+func TestQueryWithTextPredicateRoutesToGPU(t *testing.T) {
+	db := openSmall(t)
+	// Find a literal that exists.
+	d, _ := db.System().Config().Table.Dicts().Get("store_name")
+	lit, _ := d.Decode(0)
+	res, err := db.Query("SELECT sum(sales) WHERE store_name = '" + lit + "'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Route.Translated {
+		t.Fatal("text query should be marked translated")
+	}
+	if res.Route.Kind == "cpu" {
+		t.Fatal("text query routed to CPU cubes")
+	}
+	if res.Rows == 0 {
+		t.Fatal("stored literal matched no rows")
+	}
+}
+
+func TestQueryParseErrorsSurface(t *testing.T) {
+	db := openSmall(t)
+	if _, err := db.Query("SELECT frob(sales)"); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestBatchOrderAndAgreement(t *testing.T) {
+	db := openSmall(t)
+	g, err := db.NewGenerator(query.GenConfig{Seed: 4, TextProb: 0.3,
+		LevelWeights: []float64{0.5, 0.5}, MeasureChoice: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := g.Batch(30)
+	rs, err := db.Batch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 30 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		ref, err := db.System().Reference(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows != ref.Rows || math.Abs(r.Value-ref.Value) > 1e-6*math.Max(1, math.Abs(ref.Value)) {
+			t.Fatalf("query %d: got (%v,%d) want (%v,%d)", i, r.Value, r.Rows, ref.Value, ref.Rows)
+		}
+	}
+}
+
+func TestGPUOnlyOption(t *testing.T) {
+	db, err := Open(Options{Rows: 1000, Seed: 3, GPUOnly: true, Deadline: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT avg(quantity) WHERE time.year = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route.Kind == "cpu" {
+		t.Fatal("GPU-only system used CPU")
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	db := openSmall(t)
+	bad := &query.Query{Conditions: []query.Condition{{Dim: 9}}, Op: table.AggSum}
+	if _, err := db.Run(bad); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
