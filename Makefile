@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-quick examples clean
+.PHONY: all build vet lint test race bench repro repro-quick examples clean
 
-all: build vet test
+# Pre-merge checklist: `make all` runs build → vet → lint → test; run
+# `make race` as well before merging scheduler or simulator changes — the
+# CI workflow (.github/workflows/ci.yml) gates on the same five steps.
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Custom static-analysis suite (cmd/olaplint): simclock, seededrand,
+# lockdiscipline, floateq, errdrop. Findings are fixed, never suppressed;
+# see "Static analysis & determinism" in README.md and DESIGN.md.
+lint:
+	$(GO) run ./cmd/olaplint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,100 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis framework: an Analyzer is a named check with a Run function
+// that inspects one type-checked package (a Pass) and reports Diagnostics.
+//
+// The repository deliberately has no module dependencies beyond the
+// standard library, so rather than importing x/tools this package mirrors
+// the shape of its API on top of go/ast and go/types. Analyzers written
+// here port to the real framework (and vice versa) with only an import
+// change.
+//
+// The suite exists because the paper's results are only reproducible if
+// the simulator is deterministic: scheduler traces, partition-queue clocks
+// (T_Q) and the two-piece performance model all assume virtual time and
+// seeded randomness. See the sibling packages simclock, seededrand,
+// lockdiscipline, floateq and errdrop for the individual checks, and
+// cmd/olaplint for the multichecker driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is a short lower-case identifier used in diagnostics and for
+	// -run filtering in the driver.
+	Name string
+	// Doc is a one-paragraph description shown by `olaplint -list`.
+	Doc string
+	// Run applies the check to a single package and reports findings via
+	// pass.Report. The returned value is unused (kept for parity with
+	// x/tools go/analysis signatures).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// All analyzers in the suite exempt test files: tests may legitimately
+// use wall-clock timing, throwaway randomness and discarded errors.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// PkgFunc resolves the callee of call to its declared *types.Func, looking
+// through method values and selector expressions. Returns nil for calls to
+// builtins, function-typed variables and conversions.
+func (p *Pass) PkgFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Preorder walks every file of the pass in depth-first order, calling fn
+// for each node. It is the moral equivalent of the inspect.Analyzer
+// dependency in x/tools-based suites.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

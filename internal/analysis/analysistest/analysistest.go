@@ -1,0 +1,147 @@
+// Package analysistest runs an analyzer over a golden fixture module and
+// checks its diagnostics against // want "regexp" comments, mirroring
+// x/tools' go/analysis/analysistest contract.
+//
+// A fixture lives at <analyzer>/testdata/src and is a real Go module
+// (with its own go.mod, named "fix", invisible to the parent module
+// because testdata directories are pruned from package patterns). The
+// harness loads it through the same loader the olaplint driver uses, so
+// tests exercise the full production pipeline: go list -export, export
+// data import, type checking, then the analyzer.
+//
+// Every diagnostic must be matched by a want comment on the same line,
+// and every want comment must be matched by a diagnostic; either mismatch
+// fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hybridolap/internal/analysis"
+)
+
+// expectation is one // want "re" comment.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module under testdata/src, applies the analyzer
+// to every package matched by patterns (default ./...), and compares
+// diagnostics with // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	pkgs, err := analysis.Load(src, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", src, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", src)
+	}
+
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg, f, wants)
+		}
+	}
+
+	diags := analysis.Analyze(pkgs, []*analysis.Analyzer{a})
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// wantRE extracts the expectation list from a comment:  // want "re" "re2"
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File, wants map[string][]*expectation) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			for _, raw := range splitQuoted(m[1]) {
+				pattern, err := strconv.Unquote(raw)
+				if err != nil {
+					t.Fatalf("%s: malformed want pattern %s: %v", pos, raw, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: invalid want regexp %q: %v", pos, pattern, err)
+				}
+				wants[key] = append(wants[key], &expectation{re: re, raw: pattern})
+			}
+		}
+	}
+}
+
+// splitQuoted splits `"a" "b"` (or backquoted chunks) into Go string
+// literals, tolerating escaped quotes inside double-quoted ones.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		esc := false
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if esc {
+				esc = false
+				continue
+			}
+			switch s[i] {
+			case '\\':
+				esc = quote == '"'
+			case quote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,91 @@
+// Package errdrop flags discarded error returns from the persistence
+// layer.
+//
+// internal/binio carries a sticky error plus a running CRC-32 precisely so
+// callers check once — but that one check must happen: dropping the error
+// from Sum()/CheckSum() or from internal/cube's load/store functions turns
+// a truncated or corrupted cube file into silently wrong aggregates, which
+// then calibrate the performance model against garbage. The analyzer flags
+// call statements (including go/defer statements) that discard an error
+// returned by a function from internal/binio or internal/cube.
+//
+// An explicit `_ =` assignment is treated as a deliberate, visible
+// decision and is not flagged; bare call statements are.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hybridolap/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag call statements that discard an error returned by " +
+		"internal/binio or internal/cube I/O functions",
+	Run: run,
+}
+
+// scopePkgs are the package-path suffixes whose error returns must be
+// consumed.
+var scopePkgs = []string{"internal/binio", "internal/cube"}
+
+func fromScopedPkg(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, s := range scopePkgs {
+		if pkg.Path() == s || strings.HasSuffix(pkg.Path(), "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	check := func(call *ast.CallExpr) {
+		if pass.IsTestFile(call.Pos()) {
+			return
+		}
+		fn := pass.PkgFunc(call)
+		if fn == nil || !fromScopedPkg(fn) || !returnsError(fn) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"result of %s.%s is an error and is discarded: check it (corrupt cube files otherwise pass silently)",
+			fn.Pkg().Name(), fn.Name())
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				check(call)
+			}
+		case *ast.GoStmt:
+			check(n.Call)
+		case *ast.DeferStmt:
+			check(n.Call)
+		}
+		return true
+	})
+	return nil, nil
+}

@@ -1,0 +1,32 @@
+// Package app consumes the fixture binio package; bare call statements
+// that drop its errors must be reported.
+package app
+
+import "fix/internal/binio"
+
+// Drop discards errors in statement position: reported.
+func Drop(w *binio.Writer) {
+	w.Sum()                 // want `result of binio\.Sum is an error and is discarded`
+	binio.Save("cube.bin")  // want `result of binio\.Save is an error and is discarded`
+	defer w.Sum()           // want `result of binio\.Sum is an error and is discarded`
+	go binio.Save("x.bin")  // want `result of binio\.Save is an error and is discarded`
+}
+
+// Checked consumes the error: allowed.
+func Checked(w *binio.Writer) error {
+	if err := w.Sum(); err != nil {
+		return err
+	}
+	return binio.Save("cube.bin")
+}
+
+// Deliberate discards visibly with a blank assignment: allowed (the
+// decision is explicit and reviewable).
+func Deliberate(w *binio.Writer) {
+	_ = w.Sum()
+}
+
+// NoError calls a function with no error result: allowed.
+func NoError(w *binio.Writer) {
+	w.Written()
+}

@@ -1,0 +1,15 @@
+// Package binio is a fixture mirror of the real persistence package: a
+// sticky-error writer whose final Sum() must be checked.
+package binio
+
+// Writer accumulates a sticky error.
+type Writer struct{ err error }
+
+// Sum flushes and returns the first error.
+func (w *Writer) Sum() error { return w.err }
+
+// Written returns a count and no error; discarding it is fine.
+func (w *Writer) Written() int64 { return 0 }
+
+// Save persists to path and can fail.
+func Save(path string) error { return nil }

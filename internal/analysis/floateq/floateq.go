@@ -1,0 +1,71 @@
+// Package floateq flags exact floating-point equality in estimator code.
+//
+// The two-piece CPU model (eqs. 4-10) and the queue-clock estimator
+// (eqs. 17-18) are fitted from measurements: slopes, intercepts and break
+// points are least-squares outputs that differ in the last ulp between
+// runs and platforms. Comparing such values with == or != encodes an
+// assumption of exactness the model cannot deliver — route comparisons
+// through an epsilon tolerance instead.
+//
+// Scope: internal/perfmodel, internal/sched and internal/experiments
+// (the packages that evaluate and compare model estimates). The NaN
+// self-comparison idiom (x != x) and comparisons against an exact zero
+// sentinel guarding division are still flagged; use math.Abs(x) < eps or
+// math.IsNaN explicitly.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hybridolap/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands in perfmodel and " +
+		"estimator packages; fitted coefficients require epsilon comparison",
+	Run: run,
+}
+
+// scopes lists package-path suffixes the check applies to.
+var scopes = []string{"internal/perfmodel", "internal/sched", "internal/experiments"}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) || pass.IsTestFile(bin.Pos()) {
+			return true
+		}
+		tx := pass.TypesInfo.TypeOf(bin.X)
+		ty := pass.TypesInfo.TypeOf(bin.Y)
+		if tx == nil || ty == nil || !isFloat(tx) || !isFloat(ty) {
+			return true
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s comparison in estimator code: use an epsilon tolerance (fitted coefficients are inexact)",
+			bin.Op)
+		return true
+	})
+	return nil, nil
+}

@@ -1,0 +1,30 @@
+// Package perfmodel is a fixture for the estimator packages: exact
+// floating-point equality must be reported, integer equality must not.
+package perfmodel
+
+// Breakpoint compares fitted coefficients exactly: both reported.
+func Breakpoint(slope, breakMB float64) bool {
+	if slope == 0.0 { // want `floating-point == comparison`
+		return false
+	}
+	return breakMB != slope // want `floating-point != comparison`
+}
+
+// Mixed compares a float32 against an untyped constant: reported.
+func Mixed(x float32) bool {
+	return x == 1.5 // want `floating-point == comparison`
+}
+
+// Ints is exact arithmetic: allowed.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Epsilon is the sanctioned pattern: allowed.
+func Epsilon(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

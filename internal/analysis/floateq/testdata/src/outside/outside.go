@@ -1,0 +1,5 @@
+// Package outside is not an estimator package: float equality here is out
+// of scope and must not be reported.
+package outside
+
+func Same(a, b float64) bool { return a == b }

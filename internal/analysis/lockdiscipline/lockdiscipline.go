@@ -1,0 +1,374 @@
+// Package lockdiscipline enforces mutex hygiene in packages that maintain
+// shared queue state.
+//
+// The scheduler's partition queues (T_Q clocks, completion counters,
+// feedback corrections) are mutated from worker goroutines; the paper's
+// queue-clock update rule (eq. 17-18) is only correct if every read and
+// update happens under the same lock. Two classes of bugs defeat that
+// silently:
+//
+//  1. copying a sync.Mutex/sync.RWMutex by value forks the lock, so two
+//     goroutines each lock their own copy and exclusion evaporates;
+//  2. a Lock() whose Unlock() is missing, or skipped on an early return,
+//     deadlocks the queue the first time the error path is taken.
+//
+// The analyzer flags value copies of locker-bearing types (parameters,
+// results, receivers, plain assignments) and Lock()/RLock() calls without
+// a pairing defer Unlock()/RUnlock() or an unlock on every return path.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridolap/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flag sync.Mutex/sync.RWMutex value copies and Lock() calls " +
+		"without a pairing defer Unlock() or an unlock on every return path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	pass.Preorder(func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pass.IsTestFile(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			c.checkSignature(n.Recv, n.Type)
+			if n.Body != nil {
+				c.checkBody(n.Body)
+			}
+		case *ast.FuncLit:
+			c.checkSignature(nil, n.Type)
+			c.checkBody(n.Body)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				c.checkCopy(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				c.checkCopy(v)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// containsLocker reports whether t holds a sync.Mutex or sync.RWMutex by
+// value (directly, or inside a struct or array).
+func containsLocker(t types.Type) bool {
+	return containsLockerSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockerSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsLockerSeen(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockerSeen(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockerSeen(t.Elem(), seen)
+	}
+	return false
+}
+
+// checkSignature flags by-value locker types in receivers, parameters and
+// results: callers would pass or receive a copy of the lock.
+func (c *checker) checkSignature(recv *ast.FieldList, ftype *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ftype.Params, ftype.Results}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			t := c.pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLocker(t) {
+				c.pass.Reportf(field.Type.Pos(),
+					"%s passed by value copies its lock: use a pointer", types.TypeString(t, nil))
+			}
+		}
+	}
+}
+
+// checkCopy flags assignments that copy an existing locker-bearing value.
+// Composite literals and function calls construct fresh values and are
+// fine; reading a variable, field or dereference forks a live lock.
+func (c *checker) checkCopy(rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(rhs)
+	if t == nil || !containsLocker(t) {
+		return
+	}
+	c.pass.Reportf(rhs.Pos(),
+		"assignment copies lock value: %s contains a mutex; use a pointer", types.TypeString(t, nil))
+}
+
+// lockCall classifies a statement as a Lock/Unlock call on a mutex-typed
+// receiver, returning the stringified receiver expression as pairing key.
+func (c *checker) lockCall(call *ast.CallExpr) (key, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := c.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// unlockFor maps a lock method to its releasing counterpart.
+func unlockFor(name string) string {
+	if name == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// deferredUnlocks returns the "key.Op" pairs a defer statement releases,
+// whether it defers mu.Unlock directly or a closure that calls it.
+func (c *checker) deferredUnlocks(d *ast.DeferStmt) []string {
+	if key, name, ok := c.lockCall(d.Call); ok {
+		if name == "Unlock" || name == "RUnlock" {
+			return []string{key + "." + name}
+		}
+		return nil
+	}
+	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var released []string
+	ast.Inspect(lit.Body, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if key, name, ok2 := c.lockCall(call); ok2 && (name == "Unlock" || name == "RUnlock") {
+				released = append(released, key+"."+name)
+			}
+		}
+		return true
+	})
+	return released
+}
+
+// releases reports whether defer d releases key with unlockOp.
+func (c *checker) releases(d *ast.DeferStmt, key, unlockOp string) bool {
+	for _, r := range c.deferredUnlocks(d) {
+		if r == key+"."+unlockOp {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody verifies lock/unlock pairing inside one function body. Nested
+// function literals are separate scopes and are skipped here (Preorder
+// visits them independently).
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	type lockSite struct {
+		pos      ast.Node
+		key      string
+		unlockOp string
+	}
+	var locks []lockSite
+	unlocks := make(map[string]int) // "key.Unlock" -> count, deferred or direct
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // separate scope
+			case *ast.DeferStmt:
+				for _, released := range c.deferredUnlocks(m) {
+					unlocks[released]++
+				}
+				return false
+			case *ast.CallExpr:
+				if key, name, ok := c.lockCall(m); ok {
+					switch name {
+					case "Lock", "RLock":
+						locks = append(locks, lockSite{pos: m, key: key, unlockOp: unlockFor(name)})
+					case "Unlock", "RUnlock":
+						unlocks[key+"."+name]++
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	for _, l := range locks {
+		if unlocks[l.key+"."+l.unlockOp] == 0 {
+			c.pass.Reportf(l.pos.Pos(),
+				"%s locked but never %sed in this function: pair Lock with defer Unlock",
+				l.key, l.unlockOp)
+		}
+	}
+
+	// Second pass: within each statement list, a Lock followed by a plain
+	// return before any unlock (deferred or direct) leaks the lock on that
+	// path.
+	c.checkReturnPaths(body)
+}
+
+// checkReturnPaths scans every statement list of the body. After a
+// Lock(key) statement, encountering a return — or a nested statement that
+// can return without unlocking key — before the unlock is a leak.
+func (c *checker) checkReturnPaths(body *ast.BlockStmt) {
+	var scanList func(stmts []ast.Stmt)
+
+	// containsReturnSansUnlock reports whether n contains a return
+	// statement but no unlock of key (so taking that branch leaks).
+	containsReturnSansUnlock := func(n ast.Stmt, key, unlockOp string) bool {
+		hasReturn, hasUnlock := false, false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				hasReturn = true
+			case *ast.CallExpr:
+				if k, name, ok := c.lockCall(m); ok && k == key && name == unlockOp {
+					hasUnlock = true
+				}
+			}
+			return true
+		})
+		return hasReturn && !hasUnlock
+	}
+
+	scanList = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			// Recurse into nested blocks for their own lists.
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				scanList(s.List)
+			case *ast.IfStmt:
+				scanList(s.Body.List)
+				if b, ok := s.Else.(*ast.BlockStmt); ok {
+					scanList(b.List)
+				}
+			case *ast.ForStmt:
+				scanList(s.Body.List)
+			case *ast.RangeStmt:
+				scanList(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, cl := range s.Body.List {
+					if cc, ok := cl.(*ast.CaseClause); ok {
+						scanList(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, cl := range s.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						scanList(cc.Body)
+					}
+				}
+			}
+
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			key, name, ok := c.lockCall(call)
+			if !ok || (name != "Lock" && name != "RLock") {
+				continue
+			}
+			unlockOp := unlockFor(name)
+
+			// Walk forward in this list until the lock is resolved: a
+			// matching defer or direct unlock ends the critical section;
+			// a return (or a branch that can return) first leaks it.
+		forward:
+			for _, after := range stmts[i+1:] {
+				switch after := after.(type) {
+				case *ast.DeferStmt:
+					if c.releases(after, key, unlockOp) {
+						break forward
+					}
+				case *ast.ExprStmt:
+					if call2, ok2 := after.X.(*ast.CallExpr); ok2 {
+						if k, n2, ok3 := c.lockCall(call2); ok3 && k == key && n2 == unlockOp {
+							break forward
+						}
+					}
+				case *ast.ReturnStmt:
+					c.pass.Reportf(after.Pos(),
+						"return leaks %s.%s acquired at this scope: unlock before returning or use defer",
+						key, name)
+					break forward
+				default:
+					if containsReturnSansUnlock(after, key, unlockOp) {
+						c.pass.Reportf(after.Pos(),
+							"branch may return without releasing %s.%s: unlock on every path or use defer",
+							key, name)
+						break forward
+					}
+				}
+			}
+		}
+	}
+	scanList(body.List)
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer)
+}

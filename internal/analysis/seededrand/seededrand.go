@@ -1,0 +1,68 @@
+// Package seededrand forbids the package-global math/rand source in
+// library code.
+//
+// Every experiment table in EXPERIMENTS.md must be bit-reproducible
+// run-to-run: synthetic cubes, query streams, arrival jitter and service
+// noise all derive from seeds recorded in the experiment configs. The
+// global math/rand functions (rand.Intn, rand.Float64, ...) draw from a
+// process-wide source whose state depends on everything else that touched
+// it, so a single call breaks reproducibility for the whole run.
+// Library code must accept an injected *rand.Rand (constructed via
+// rand.New(rand.NewSource(seed))) instead. Constructors rand.New,
+// rand.NewSource and rand.NewZipf are allowed; test files are exempt.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridolap/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid package-global math/rand functions in non-test code; " +
+		"inject a *rand.Rand seeded from the experiment config so runs " +
+		"are bit-reproducible",
+	Run: run,
+}
+
+// allowed names are constructors and types, not draws from the global
+// source.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Preorder(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || allowed[sel.Sel.Name] || pass.IsTestFile(sel.Pos()) {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "math/rand", "math/rand/v2":
+		default:
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"global math/rand.%s draws from shared process state: inject a seeded *rand.Rand instead",
+			sel.Sel.Name)
+		return true
+	})
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/seededrand"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer)
+}

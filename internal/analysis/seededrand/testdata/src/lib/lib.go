@@ -1,0 +1,24 @@
+// Package lib is a fixture: draws from the global math/rand source must
+// be reported; injected *rand.Rand usage must not.
+package lib
+
+import "math/rand"
+
+// Global draws from process-wide state: all reported.
+func Global() (int, float64) {
+	n := rand.Intn(10)       // want `global math/rand\.Intn`
+	f := rand.Float64()      // want `global math/rand\.Float64`
+	rand.Shuffle(2, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	return n, f
+}
+
+// Injected uses a caller-seeded source: allowed.
+func Injected(rng *rand.Rand) (int, float64) {
+	return rng.Intn(10), rng.Float64()
+}
+
+// Construct builds a reproducible source: rand.New and rand.NewSource are
+// constructors, not draws, and are allowed.
+func Construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

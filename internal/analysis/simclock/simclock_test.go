@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, "testdata", simclock.Analyzer)
+}

@@ -1,0 +1,23 @@
+// Package sim is a fixture standing in for the simulation core: every
+// wall-clock read below must be reported.
+package sim
+
+import "time"
+
+// Clock is the injected virtual clock the real package provides.
+type Clock struct{ now time.Duration }
+
+// Now is fine: it reads virtual time, not the host clock.
+func (c *Clock) Now() time.Duration { return c.now }
+
+func wallClock() time.Duration {
+	t0 := time.Now()            // want `time\.Now in simulation package`
+	time.Sleep(time.Nanosecond) // want `time\.Sleep in simulation package`
+	return time.Since(t0)       // want `time\.Since in simulation package`
+}
+
+func virtualOK(c *Clock) time.Duration {
+	// Duration arithmetic and the time package's types are allowed; only
+	// host-clock reads are banned.
+	return c.Now() + 5*time.Millisecond
+}

@@ -1,0 +1,10 @@
+// Package measure is outside the simulation scope: wall-clock reads are
+// legitimate here (it models internal/membench) and must not be reported.
+package measure
+
+import "time"
+
+func Elapsed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

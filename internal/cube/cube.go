@@ -40,6 +40,14 @@ type Config struct {
 	// Compress enables the 40% chunk-offset compression pass (on by
 	// default through Build*; set by callers of newCube directly).
 	Compress bool
+	// Rng, when set, is the source of all pseudo-random draws made while
+	// building (BuildSynthetic's fill pattern and aggregate values). When
+	// nil, BuildSynthetic derives one from its seed argument, so the same
+	// (geometry, fill, seed) triple always yields a bit-identical cube.
+	// The global math/rand source is never used (enforced by the
+	// seededrand analyzer): cube contents feed bandwidth benchmarks and
+	// calibration tables that must be reproducible run-to-run.
+	Rng *rand.Rand
 }
 
 // newCube allocates cube geometry with all chunks empty.
@@ -342,7 +350,10 @@ func BuildSynthetic(level int, cards []int, fill float64, seed int64, cfg Config
 	if fill > 1 {
 		fill = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(seed))
+	}
 	coords := make([]uint32, len(cards))
 	var walk func(d int)
 	walk = func(d int) {

@@ -229,6 +229,34 @@ func TestCompressionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBuildSyntheticInjectedRng checks that an injected Config.Rng seeded
+// S builds the same cube as the seed argument S with a nil Rng: the two
+// configuration styles are interchangeable without losing bit-level
+// reproducibility.
+func TestBuildSyntheticInjectedRng(t *testing.T) {
+	seeded, err := BuildSynthetic(0, []int{32, 32}, 0.4, 9, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := BuildSynthetic(0, []int{32, 32}, 0.4, 0, Config{Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.FilledCells() != injected.FilledCells() {
+		t.Fatalf("filled cells diverged: %d vs %d", seeded.FilledCells(), injected.FilledCells())
+	}
+	coords := []uint32{0, 0}
+	for x := uint32(0); x < 32; x++ {
+		for y := uint32(0); y < 32; y++ {
+			coords[0], coords[1] = x, y
+			a, b := seeded.Get(coords), injected.Get(coords)
+			if a != b {
+				t.Fatalf("cell (%d,%d) diverged: %+v vs %+v", x, y, a, b)
+			}
+		}
+	}
+}
+
 func TestDenseChunksStayDense(t *testing.T) {
 	// A fully filled cube must keep dense chunks (fill = 100% > 40%).
 	c, err := BuildSynthetic(0, []int{16, 16}, 1.0, 1, Config{Compress: true})

@@ -23,7 +23,15 @@ type Arrival struct {
 	// instead of fixed spacing — the memoryless arrivals interactive OLAP
 	// front-ends actually produce.
 	Poisson bool
-	Seed    int64
+	// Seed derives the arrival stream's private random source. The zero
+	// value is a valid, documented default: every run with Seed 0 (and
+	// nil Rng) sees the identical arrival pattern.
+	Seed int64
+	// Rng, when set, overrides Seed as the arrival stream's source. Inject
+	// one to share or sequence sources across experiment stages; RunModel
+	// never touches the global math/rand state (enforced by the seededrand
+	// analyzer), so olapbench tables are bit-reproducible either way.
+	Rng *rand.Rand
 }
 
 // Noise perturbs modelled service times so the feedback loop has real work
@@ -34,7 +42,10 @@ type Arrival struct {
 type Noise struct {
 	Amplitude float64
 	Bias      float64
-	Seed      int64
+	// Seed derives the noise source; 0 is the documented default stream.
+	Seed int64
+	// Rng, when set, overrides Seed (see Arrival.Rng).
+	Rng *rand.Rand
 }
 
 // ModelOptions tunes RunModel.
@@ -91,7 +102,10 @@ func (s *System) RunModel(queries []*query.Query, opts ModelOptions) (*ModelResu
 		gpuSrv[i] = sim.NewServer(&loop, fmt.Sprintf("gpu%d-%dsm", i, w))
 	}
 
-	noiseRng := rand.New(rand.NewSource(opts.Noise.Seed))
+	noiseRng := opts.Noise.Rng
+	if noiseRng == nil {
+		noiseRng = rand.New(rand.NewSource(opts.Noise.Seed))
+	}
 	bias := opts.Noise.Bias
 	if bias <= 0 {
 		bias = 1
@@ -107,7 +121,10 @@ func (s *System) RunModel(queries []*query.Query, opts ModelOptions) (*ModelResu
 		return est * f
 	}
 
-	arrRng := rand.New(rand.NewSource(opts.Arrival.Seed))
+	arrRng := opts.Arrival.Rng
+	if arrRng == nil {
+		arrRng = rand.New(rand.NewSource(opts.Arrival.Seed))
+	}
 	poissonClock := 0.0
 	arrivalAt := func(i int) float64 {
 		if opts.Arrival.RatePerSec <= 0 {

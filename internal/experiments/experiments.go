@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"hybridolap/internal/query"
@@ -89,10 +90,11 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// f formats a float compactly.
+// f formats a float compactly. Values within 1e-12 of zero print as "0":
+// measured rates and latencies are never exactly zero, only absent.
 func f(v float64) string {
 	switch {
-	case v == 0:
+	case math.Abs(v) < 1e-12:
 		return "0"
 	case v >= 1000:
 		return fmt.Sprintf("%.0f", v)

@@ -10,6 +10,23 @@ type Point struct {
 	X, Y float64
 }
 
+// Eps is the relative tolerance for floating-point comparisons in the
+// fitting code. Fitted slopes, intercepts and sums of squares are
+// least-squares outputs that differ in the last ulps between platforms;
+// exact ==/!= against them is meaningless (and banned by the floateq
+// analyzer), so degeneracy checks compare magnitudes against Eps-scaled
+// bounds instead.
+const Eps = 1e-12
+
+// almostZero reports whether x is negligible relative to scale (clamped
+// to at least 1 so tiny scales do not make everything significant).
+func almostZero(x, scale float64) bool {
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(x) <= Eps*scale
+}
+
 // FitLinear computes the least-squares line through the points.
 func FitLinear(pts []Point) (Linear, error) {
 	if len(pts) < 2 {
@@ -24,7 +41,7 @@ func FitLinear(pts []Point) (Linear, error) {
 		sxy += p.X * p.Y
 	}
 	den := n*sxx - sx*sx
-	if den == 0 {
+	if almostZero(den, n*sxx+sx*sx) {
 		return Linear{}, fmt.Errorf("perfmodel: degenerate x values")
 	}
 	slope := (n*sxy - sx*sy) / den
@@ -41,7 +58,7 @@ func FitLinearThroughOrigin(pts []Point) (Linear, error) {
 		sxx += p.X * p.X
 		sxy += p.X * p.Y
 	}
-	if sxx == 0 {
+	if almostZero(sxx, 1) {
 		return Linear{}, fmt.Errorf("perfmodel: degenerate x values")
 	}
 	return Linear{Slope: sxy / sxx}, nil
@@ -82,8 +99,8 @@ func RSquared(pts []Point, f func(float64) float64) float64 {
 		r := p.Y - f(p.X)
 		ssRes += r * r
 	}
-	if ssTot == 0 {
-		if ssRes == 0 {
+	if almostZero(ssTot, mean*mean) {
+		if almostZero(ssRes, mean*mean) {
 			return 1
 		}
 		return 0
