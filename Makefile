@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench repro repro-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-check test race bench repro repro-quick examples clean
 
 # Pre-merge checklist: `make all` runs build → vet → lint → test; run
 # `make race` as well before merging scheduler or simulator changes — the
@@ -14,10 +14,23 @@ vet:
 	$(GO) vet ./...
 
 # Custom static-analysis suite (cmd/olaplint): simclock, seededrand,
-# lockdiscipline, floateq, errdrop. Findings are fixed, never suppressed;
-# see "Static analysis & determinism" in README.md and DESIGN.md.
+# lockdiscipline, floateq, errdrop, unitsafety, clockowner, ctxleak.
+# Findings are fixed, never suppressed; see "Static analysis &
+# determinism" in README.md and the analyzer-authoring guide in DESIGN.md.
 lint:
 	$(GO) run ./cmd/olaplint ./...
+
+# Apply every suggested fix in place (clockwriter directives, unit
+# conversions, missing channel closes), then rerun lint to show what
+# remains.
+lint-fix:
+	$(GO) run ./cmd/olaplint -fix ./...
+	$(GO) run ./cmd/olaplint ./...
+
+# Assert the tree carries no unapplied suggested fixes: -diff prints the
+# pending edits and exits non-zero if there are any. CI runs this.
+lint-fix-check:
+	$(GO) run ./cmd/olaplint -diff ./...
 
 test:
 	$(GO) test ./...

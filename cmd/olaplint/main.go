@@ -5,31 +5,46 @@
 //
 //	path/file.go:line:col: message (analyzer)
 //
-// Exit status: 0 when clean, 1 when any analyzer reported a finding, 2 on
-// usage or load errors. `make lint` and CI both run it over ./... — a
-// non-zero exit blocks the merge, and findings are fixed, never
-// suppressed.
+// Exit status: 0 when clean, 1 when any analyzer reported a finding (or,
+// under -diff, when fixes would edit files), 2 on usage or load errors.
+// `make lint` and CI both run it over ./... — a non-zero exit blocks the
+// merge, and findings are fixed, never suppressed.
 //
 // Flags:
 //
 //	-list        print the registered analyzers and their docs, then exit
 //	-run names   comma-separated analyzer names to run (default: all)
+//	-fix         apply each diagnostic's first suggested fix in place
+//	-diff        print the suggested fixes as a unified diff, apply nothing
+//	-json        emit diagnostics as NDJSON (one object per line) for
+//	             machine consumers such as the CI problem matcher
+//
+// Fix application is deterministic: diagnostics are processed in position
+// order, duplicate edits collapse, and conflicting overlaps are an error.
+// After -fix, rerunning olaplint must be clean — CI's lint-fix-check job
+// asserts exactly that with -diff.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"hybridolap/internal/analysis"
+	"hybridolap/internal/analysis/clockowner"
+	"hybridolap/internal/analysis/ctxleak"
 	"hybridolap/internal/analysis/errdrop"
 	"hybridolap/internal/analysis/floateq"
 	"hybridolap/internal/analysis/lockdiscipline"
 	"hybridolap/internal/analysis/seededrand"
 	"hybridolap/internal/analysis/simclock"
+	"hybridolap/internal/analysis/unitsafety"
 )
 
 // registry returns every analyzer in the suite, in stable order.
@@ -40,12 +55,18 @@ func registry() []*analysis.Analyzer {
 		lockdiscipline.Analyzer,
 		floateq.Analyzer,
 		errdrop.Analyzer,
+		unitsafety.Analyzer,
+		clockowner.Analyzer,
+		ctxleak.Analyzer,
 	}
 }
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place")
+	diff := flag.Bool("diff", false, "print suggested fixes as a unified diff without applying")
+	asJSON := flag.Bool("json", false, "emit diagnostics as NDJSON")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +75,10 @@ func main() {
 		}
 		return
 	}
+	if *fix && *diff {
+		fmt.Fprintln(os.Stderr, "olaplint: -fix and -diff are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers, err := selectAnalyzers(*runNames)
 	if err != nil {
@@ -61,7 +86,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	n, err := lint(os.Stdout, ".", flag.Args(), analyzers)
+	mode := modeReport
+	switch {
+	case *fix:
+		mode = modeFix
+	case *diff:
+		mode = modeDiff
+	}
+	n, err := lint(os.Stdout, ".", flag.Args(), analyzers, mode, *asJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "olaplint:", err)
 		os.Exit(2)
@@ -95,9 +127,30 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-// lint loads patterns relative to dir, runs the analyzers, prints each
-// diagnostic to w and returns the number of findings.
-func lint(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+// lintMode selects what lint does with diagnostics that carry fixes.
+type lintMode int
+
+const (
+	modeReport lintMode = iota // print findings
+	modeFix                    // write fixed files, report remaining findings
+	modeDiff                   // print would-be fixes as a diff; count = edits
+)
+
+// jsonDiag is the NDJSON shape of one finding. Field order is part of the
+// contract: the CI problem matcher's regex keys off it.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Fixes    int    `json:"fixes"`
+	Message  string `json:"message"`
+}
+
+// lint loads patterns relative to dir, runs the analyzers and returns the
+// count that should drive the exit status: findings in report modes, or
+// pending edits in -diff mode (so a dirty tree fails CI's fix check).
+func lint(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer, mode lintMode, asJSON bool) (int, error) {
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		return 0, err
@@ -117,8 +170,100 @@ func lint(w io.Writer, dir string, patterns []string, analyzers []*analysis.Anal
 		}
 		return pi.Column < pj.Column
 	})
-	for _, d := range diags {
-		fmt.Fprintf(w, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+
+	switch mode {
+	case modeFix:
+		fixed, n, err := analysis.ApplyFixes(fset, diags)
+		if err != nil {
+			return 0, err
+		}
+		files := sortedKeys(fixed)
+		for _, file := range files {
+			if err := os.WriteFile(file, fixed[file], 0o644); err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(w, "olaplint: fixed %s\n", file)
+		}
+		if n > 0 {
+			// Fixes change the source the diagnostics were computed from;
+			// report only what had no fix, and let the caller rerun for an
+			// authoritative verdict.
+			diags = withoutFixes(diags)
+		}
+		printDiags(w, fset, diags, asJSON)
+		return len(diags), nil
+
+	case modeDiff:
+		fixed, n, err := analysis.ApplyFixes(fset, diags)
+		if err != nil {
+			return 0, err
+		}
+		for _, file := range sortedKeys(fixed) {
+			old, err := os.ReadFile(file)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprint(w, analysis.UnifiedDiff(displayPath(dir, file), old, fixed[file]))
+		}
+		return n, nil
 	}
+
+	printDiags(w, fset, diags, asJSON)
 	return len(diags), nil
+}
+
+// withoutFixes filters diags down to those -fix could not repair.
+func withoutFixes(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// printDiags renders findings either human-readable or as NDJSON.
+func printDiags(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic, asJSON bool) {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if asJSON {
+			// Encode never fails for this shape; diagnostics are plain
+			// strings and ints.
+			_ = enc.Encode(jsonDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Fixes:    len(d.SuggestedFixes),
+				Message:  d.Message,
+			})
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+	}
+}
+
+// displayPath renders file relative to the lint root when possible, so
+// diff headers read a/internal/… rather than a//abs/path.
+func displayPath(dir, file string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(abs, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return rel
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

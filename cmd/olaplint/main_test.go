@@ -1,16 +1,20 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestRegistryComplete pins the suite: all five analyzers must be
+// TestRegistryComplete pins the suite: all eight analyzers must be
 // registered, in stable order, with docs for -list output.
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"simclock", "seededrand", "lockdiscipline", "floateq", "errdrop"}
+	want := []string{
+		"simclock", "seededrand", "lockdiscipline", "floateq", "errdrop",
+		"unitsafety", "clockowner", "ctxleak",
+	}
 	got := registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(got), len(want))
@@ -42,10 +46,10 @@ func TestSelectAnalyzers(t *testing.T) {
 	}
 }
 
-// TestKnownBadFixture runs the full driver pipeline over a freshly
-// written module containing one violation per analyzer and requires a
-// non-zero finding count mentioning each.
-func TestKnownBadFixture(t *testing.T) {
+// badModule writes a module with one violation per analyzer and returns
+// its directory.
+func badModule(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
 	writeFile(t, dir, "go.mod", "module bad\n\ngo 1.22\n")
 	writeFile(t, dir, "internal/sim/sim.go", `package sim
@@ -78,19 +82,182 @@ func (q *Q) Update(x float64) bool {
 
 func Jitter() float64 { return rand.Float64() }
 `)
+	writeFile(t, dir, "internal/units/units.go", `package units
 
+type Stats struct {
+	TotalSeconds float64
+	WaitMS       float64
+}
+
+func Mix(s *Stats) {
+	s.WaitMS = s.TotalSeconds
+}
+`)
+	return dir
+}
+
+// TestKnownBadFixture runs the full driver pipeline over a freshly
+// written module containing one violation per analyzer and requires a
+// non-zero finding count mentioning each.
+func TestKnownBadFixture(t *testing.T) {
+	dir := badModule(t)
 	var out strings.Builder
-	n, err := lint(&out, dir, []string{"./..."}, registry())
+	n, err := lint(&out, dir, []string{"./..."}, registry(), modeReport, false)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
 	if n == 0 {
 		t.Fatalf("lint found no issues in known-bad fixture; output:\n%s", out.String())
 	}
-	for _, name := range []string{"simclock", "seededrand", "lockdiscipline", "floateq"} {
+	for _, name := range []string{
+		"simclock", "seededrand", "lockdiscipline", "floateq",
+		"unitsafety", "clockowner",
+	} {
 		if !strings.Contains(out.String(), "("+name+")") {
 			t.Errorf("expected a %s finding, output:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestJSONOutput checks the NDJSON contract the CI problem matcher
+// depends on: one valid object per line with the pinned field order.
+func TestJSONOutput(t *testing.T) {
+	dir := badModule(t)
+	var out strings.Builder
+	n, err := lint(&out, dir, []string{"./..."}, registry(), modeReport, true)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d JSON lines for %d findings:\n%s", len(lines), n, out.String())
+	}
+	for _, line := range lines {
+		var d jsonDiag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %q", line)
+		}
+		// The problem matcher's regex keys off this exact field order.
+		for _, key := range []string{`"file":`, `"line":`, `"col":`, `"analyzer":`, `"fixes":`, `"message":`} {
+			if !strings.Contains(line, key) {
+				t.Errorf("JSON line missing %s: %q", key, line)
+			}
+		}
+		if strings.Index(line, `"file":`) > strings.Index(line, `"line":`) {
+			t.Errorf("field order changed, problem matcher will break: %q", line)
+		}
+	}
+}
+
+// TestFixRoundTrip is the -fix acceptance gate: applying fixes to a module
+// with fixable findings must converge — the second run reports zero
+// fixable findings and no pending edits under -diff.
+func TestFixRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module bad\n\ngo 1.22\n")
+	writeFile(t, dir, "sched/sched.go", `package sched
+
+type Scheduler struct {
+	tqCPU float64
+}
+
+func (s *Scheduler) Reset() {
+	s.tqCPU = 0
+}
+`)
+	writeFile(t, dir, "units/units.go", `package units
+
+type Stats struct {
+	TotalSeconds float64
+	WaitMS       float64
+}
+
+func Mix(s *Stats) {
+	s.WaitMS = s.TotalSeconds
+}
+`)
+
+	var out strings.Builder
+	if _, err := lint(&out, dir, []string{"./..."}, registry(), modeFix, false); err != nil {
+		t.Fatalf("lint -fix: %v", err)
+	}
+	if !strings.Contains(out.String(), "fixed") {
+		t.Fatalf("-fix applied nothing:\n%s", out.String())
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(dir, "sched/sched.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "olaplint:clockwriter") {
+		t.Errorf("clockwriter directive not inserted:\n%s", fixed)
+	}
+	fixedUnits, err := os.ReadFile(filepath.Join(dir, "units/units.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixedUnits), "s.TotalSeconds * 1000") {
+		t.Errorf("unit conversion not inserted:\n%s", fixedUnits)
+	}
+
+	// Second run: clean, and -diff proposes nothing.
+	out.Reset()
+	n, err := lint(&out, dir, []string{"./..."}, registry(), modeReport, false)
+	if err != nil {
+		t.Fatalf("second lint: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("findings remain after -fix:\n%s", out.String())
+	}
+	out.Reset()
+	n, err = lint(&out, dir, []string{"./..."}, registry(), modeDiff, false)
+	if err != nil {
+		t.Fatalf("lint -diff: %v", err)
+	}
+	if n != 0 || out.String() != "" {
+		t.Errorf("-diff still proposes %d edits after -fix:\n%s", n, out.String())
+	}
+}
+
+// TestDiffDryRun checks that -diff prints a unified diff and leaves the
+// tree untouched.
+func TestDiffDryRun(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module bad\n\ngo 1.22\n")
+	src := `package units
+
+type Stats struct {
+	TotalSeconds float64
+	WaitMS       float64
+}
+
+func Mix(s *Stats) {
+	s.WaitMS = s.TotalSeconds
+}
+`
+	writeFile(t, dir, "units/units.go", src)
+	var out strings.Builder
+	n, err := lint(&out, dir, []string{"./..."}, registry(), modeDiff, false)
+	if err != nil {
+		t.Fatalf("lint -diff: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("-diff proposed no edits:\n%s", out.String())
+	}
+	for _, want := range []string{"--- a/", "+++ b/", "+\ts.WaitMS = s.TotalSeconds * 1000"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "units/units.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != src {
+		t.Errorf("-diff modified the source tree")
 	}
 }
 
@@ -101,12 +268,29 @@ func TestRepoIsClean(t *testing.T) {
 		t.Skip("compiles the whole module; skipped in -short")
 	}
 	var out strings.Builder
-	n, err := lint(&out, "../..", []string{"./..."}, registry())
+	n, err := lint(&out, "../..", []string{"./..."}, registry(), modeReport, false)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
 	if n != 0 {
 		t.Errorf("repository has %d unfixed findings:\n%s", n, out.String())
+	}
+}
+
+// TestRepoFixConverged asserts the committed tree carries no pending
+// suggested fixes: `olaplint -diff` over the repository proposes nothing.
+// CI's lint-fix-check job runs the same gate from the outside.
+func TestRepoFixConverged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	var out strings.Builder
+	n, err := lint(&out, "../..", []string{"./..."}, registry(), modeDiff, false)
+	if err != nil {
+		t.Fatalf("lint -diff: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("repository has %d unapplied suggested fixes:\n%s", n, out.String())
 	}
 }
 

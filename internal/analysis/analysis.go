@@ -34,7 +34,20 @@ type Analyzer struct {
 	// pass.Report. The returned value is unused (kept for parity with
 	// x/tools go/analysis signatures).
 	Run func(pass *Pass) (any, error)
+	// FactTypes lists prototype values of every Fact this analyzer
+	// exports or imports. Facts of unlisted types are rejected at export
+	// time, mirroring x/tools: the list is the analyzer's serialization
+	// contract across package boundaries.
+	FactTypes []Fact
 }
+
+// Fact is a datum one pass attaches to an object or package for passes of
+// the same analyzer on *dependent* packages to read. Implementations must
+// be pointers to gob-serializable structs: facts cross the package
+// boundary the same way compiler export data does, by value, not by
+// sharing Go pointers (the importing pass sees a different *types.Package
+// for the exporting package, reconstructed from `go list -export` data).
+type Fact interface{ AFact() }
 
 // Pass presents one type-checked package to an Analyzer.
 type Pass struct {
@@ -45,6 +58,11 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. The driver supplies it.
 	Report func(Diagnostic)
+
+	// facts is the run-wide serialized fact store, shared by every pass
+	// of one Analyze call. Nil when the pass runs outside Analyze (then
+	// export/import are no-ops that find nothing).
+	facts *factStore
 }
 
 // Diagnostic is one finding at a source position.
@@ -52,11 +70,36 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// SuggestedFixes are machine-applicable repairs, best first. The
+	// driver's -fix mode applies the first fix of each diagnostic.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained repair for a diagnostic: a set of
+// textual edits that, applied together, resolve the finding.
+type SuggestedFix struct {
+	// Message describes the repair ("convert seconds to milliseconds").
+	Message string
+	// TextEdits are non-overlapping replacements of [Pos, End) by NewText.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// inserts without deleting.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ReportWithFix reports a diagnostic carrying one suggested fix.
+func (p *Pass) ReportWithFix(pos token.Pos, message string, fix SuggestedFix) {
+	p.Report(Diagnostic{Pos: pos, Message: message, Analyzer: p.Analyzer.Name, SuggestedFixes: []SuggestedFix{fix}})
 }
 
 // IsTestFile reports whether the file containing pos is a _test.go file.

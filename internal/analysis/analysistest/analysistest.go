@@ -15,8 +15,11 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/token"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -37,6 +40,22 @@ type expectation struct {
 // to every package matched by patterns (default ./...), and compares
 // diagnostics with // want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	run(t, testdata, a, false, patterns...)
+}
+
+// RunWithFixes is Run plus golden-fix verification: after the diagnostics
+// match, every suggested fix is applied through the production
+// ApplyFixes engine and each edited file is compared against its
+// `<file>.golden` sibling. A fixture using this harness must contain at
+// least one golden file — otherwise the fix path would silently go
+// untested.
+func RunWithFixes(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	run(t, testdata, a, true, patterns...)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, checkFixes bool, patterns ...string) {
 	t.Helper()
 	src := filepath.Join(testdata, "src")
 	pkgs, err := analysis.Load(src, patterns...)
@@ -77,6 +96,40 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
 			}
 		}
+	}
+
+	if checkFixes {
+		verifyGoldenFixes(t, fset, diags)
+	}
+}
+
+// verifyGoldenFixes applies every diagnostic's first suggested fix and
+// compares the result of each edited file with its .golden sibling.
+func verifyGoldenFixes(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic) {
+	t.Helper()
+	fixed, n, err := analysis.ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatalf("applying suggested fixes: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("fixture produced no suggested fixes; use Run instead of RunWithFixes or add fixes")
+	}
+	goldens := 0
+	for file, got := range fixed {
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("%s: fixes edit this file but no golden found: %v", file, err)
+			continue
+		}
+		goldens++
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from %s:\n%s",
+				file, golden, analysis.UnifiedDiff(filepath.Base(file), want, got))
+		}
+	}
+	if goldens == 0 {
+		t.Fatalf("no .golden files matched any edited file")
 	}
 }
 

@@ -1,0 +1,267 @@
+// Package clockowner enforces single-writer ownership of the partition
+// queue clocks (the paper's T_Q state, eq. 2–3).
+//
+// The scheduler's placement decision compares estimated completion times
+// built from per-resource queue clocks; the feedback path (sec. 5.3) is
+// the only code that may advance them, folding measured-vs-estimated error
+// back into the estimate. Any other writer — a test helper "resetting"
+// clocks, an engine peeking and compensating, a goroutine zeroing state —
+// silently invalidates every subsequent placement, and no type error stops
+// it because the clocks are plain float64 fields.
+//
+// The analyzer identifies clock fields two ways: by convention (a
+// float64-based field whose name starts with "tq" or "TQ") and by an
+// explicit `olaplint:clock` marker in the field's comment. Each clock
+// field is exported as a ClockField fact, so packages that import the
+// owner are checked against the owner's declaration. Inside the owning
+// package, functions carrying an `olaplint:clockwriter` comment directive
+// are the sanctioned feedback path; a diagnostic on an unmarked writer
+// suggests the directive as a fix, making the ownership decision explicit
+// and reviewable in the diff. Other packages have no escape hatch: they
+// must route updates through the owner's API.
+package clockowner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hybridolap/internal/analysis"
+)
+
+// ClockField is the fact marking one struct field as a scheduler queue
+// clock owned by its declaring package.
+type ClockField struct {
+	Struct string // owning struct type name, for diagnostics
+}
+
+// AFact marks ClockField as a serializable fact.
+func (*ClockField) AFact() {}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockowner",
+	Doc: "restrict writes to partition queue-clock fields (tq*/TQ* " +
+		"float64s and olaplint:clock-marked fields) to functions marked " +
+		"olaplint:clockwriter in the owning package; cross-package writes " +
+		"are always diagnosed",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ClockField)(nil)},
+}
+
+const (
+	clockMarker  = "olaplint:clock"
+	writerMarker = "olaplint:clockwriter"
+)
+
+// hasMarker reports whether any comment in the group names the marker.
+// Raw comment text is searched because ast.CommentGroup.Text strips
+// directive-shaped comments.
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			// clockMarker is a prefix of writerMarker; an exact-word check
+			// keeps "olaplint:clockwriter" from also matching "…:clock".
+			if marker == clockMarker && strings.Contains(c.Text, writerMarker) &&
+				!strings.Contains(strings.ReplaceAll(c.Text, writerMarker, ""), clockMarker) {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func isClockName(name string) bool {
+	return strings.HasPrefix(name, "tq") || strings.HasPrefix(name, "TQ")
+}
+
+func floatBased(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64
+	case *types.Slice:
+		return floatBased(u.Elem())
+	case *types.Array:
+		return floatBased(u.Elem())
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, own: make(map[types.Object]string)}
+	c.collectClockFields()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// own maps this package's clock field objects to their struct name.
+	own map[types.Object]string
+}
+
+// collectClockFields walks struct declarations, records this package's
+// clock fields and exports a ClockField fact for each so dependent
+// packages see the same ownership boundary.
+func (c *checker) collectClockFields() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					marked := hasMarker(field.Doc, clockMarker) || hasMarker(field.Comment, clockMarker)
+					for _, name := range field.Names {
+						obj := c.pass.TypesInfo.Defs[name]
+						if obj == nil || !floatBased(obj.Type()) {
+							continue
+						}
+						if marked || isClockName(name.Name) {
+							c.own[obj] = ts.Name.Name
+							c.pass.ExportObjectFact(obj, &ClockField{Struct: ts.Name.Name})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// clockField resolves obj to its owning struct name if it is a clock
+// field (of this package or, via facts, of a dependency), else "", false.
+func (c *checker) clockField(obj types.Object) (string, bool) {
+	if obj == nil {
+		return "", false
+	}
+	if s, ok := c.own[obj]; ok {
+		return s, true
+	}
+	var fact ClockField
+	if c.pass.ImportObjectFact(obj, &fact) {
+		return fact.Struct, true
+	}
+	return "", false
+}
+
+// fieldOf resolves an lvalue expression to the struct field it denotes,
+// unwrapping indexing and parens ("s.tqGPU[i]" → field tqGPU).
+func (c *checker) fieldOf(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := c.pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return sel.Obj()
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	sanctioned := hasMarker(fd.Doc, writerMarker)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				c.checkWrite(fd, sanctioned, lhs, lhs.Pos(), "write to")
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(fd, sanctioned, n.X, n.Pos(), "write to")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				c.checkWrite(fd, sanctioned, n.X, n.Pos(), "taking the address of")
+			}
+		case *ast.CompositeLit:
+			c.checkComposite(n)
+		}
+		return true
+	})
+}
+
+// checkWrite diagnoses a mutation of a clock field outside the sanctioned
+// feedback path.
+func (c *checker) checkWrite(fd *ast.FuncDecl, sanctioned bool, lhs ast.Expr, pos token.Pos, verb string) {
+	obj := c.fieldOf(lhs)
+	structName, ok := c.clockField(obj)
+	if !ok {
+		return
+	}
+	if obj.Pkg() != nil && obj.Pkg() != c.pass.Pkg {
+		c.pass.Reportf(pos,
+			"package %s does not own queue clock %s.%s: route the update through %s's feedback API",
+			c.pass.Pkg.Path(), structName, obj.Name(), obj.Pkg().Name())
+		return
+	}
+	if sanctioned {
+		return
+	}
+	c.pass.ReportWithFix(pos,
+		fmt.Sprintf("%s queue clock %s.%s outside the feedback path: only olaplint:clockwriter functions may mutate queue clocks",
+			verb, structName, obj.Name()),
+		analysis.SuggestedFix{
+			Message:   "mark " + fd.Name.Name + " as a sanctioned clock writer",
+			TextEdits: []analysis.TextEdit{{Pos: fd.Pos(), End: fd.Pos(), NewText: "// " + writerMarker + ": sanctioned queue-clock mutation.\n"}},
+		})
+}
+
+// checkComposite flags foreign construction of clock-bearing structs with
+// explicit clock values: building an owner's struct with non-zero clocks
+// from outside is a write in disguise. The owning package constructs its
+// own zero state freely.
+func (c *checker) checkComposite(lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.TypesInfo.Uses[key]
+		structName, ok := c.clockField(obj)
+		if !ok {
+			continue
+		}
+		if obj.Pkg() != nil && obj.Pkg() != c.pass.Pkg {
+			c.pass.Reportf(kv.Pos(),
+				"package %s does not own queue clock %s.%s: constructing it with an explicit clock value bypasses the scheduler's feedback path",
+				c.pass.Pkg.Path(), structName, obj.Name())
+		}
+	}
+}

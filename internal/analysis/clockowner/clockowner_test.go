@@ -1,0 +1,16 @@
+package clockowner_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/clockowner"
+)
+
+// TestFixture covers both sides of the ownership boundary: sched exports
+// ClockField facts and gets a clockwriter-directive fix for its unmarked
+// writer (three findings collapsing to one edit); engine imports the
+// facts and is diagnosed without any fix — foreign writes have no escape.
+func TestFixture(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", clockowner.Analyzer)
+}

@@ -1,0 +1,17 @@
+// Package engine pokes the scheduler's clocks from outside; every
+// finding here depends on the ClockField facts the sched pass exported.
+package engine
+
+import "fix/sched"
+
+// Tamper writes a foreign queue clock directly.
+func Tamper(s *sched.Scheduler) {
+	s.TQGPU[0] = 5   // want `package fix/engine does not own queue clock Scheduler.TQGPU`
+	p := &s.TQGPU[1] // want `package fix/engine does not own queue clock Scheduler.TQGPU`
+	_ = p
+}
+
+// Forge builds scheduler state wholesale with a non-zero clock.
+func Forge() sched.Scheduler {
+	return sched.Scheduler{TQGPU: []float64{1}} // want `does not own queue clock Scheduler.TQGPU: constructing`
+}

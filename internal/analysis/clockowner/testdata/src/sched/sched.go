@@ -1,0 +1,36 @@
+// Package sched owns the partition queue clocks; the clockowner pass on
+// this package exports a ClockField fact per clock field.
+package sched
+
+// Scheduler tracks per-resource queue clocks.
+type Scheduler struct {
+	tqCPU float64
+	TQGPU []float64
+	// queueSeconds is the transfer clock; it escapes the tq naming
+	// convention, so it is marked explicitly. olaplint:clock
+	queueSeconds float64
+	workers      int
+}
+
+// New returns a zeroed scheduler; constructing own state is not a write.
+func New(n int) *Scheduler {
+	return &Scheduler{workers: n, TQGPU: make([]float64, n)}
+}
+
+// Feedback is the sanctioned feedback path.
+// olaplint:clockwriter
+func (s *Scheduler) Feedback(i int, d float64) {
+	s.TQGPU[i] += d
+	s.tqCPU += d
+	s.queueSeconds += d
+}
+
+// Reset zeroes the clocks without being sanctioned. All three findings
+// suggest the same directive insertion, which must collapse to one edit.
+func (s *Scheduler) Reset() {
+	s.tqCPU = 0        // want `write to queue clock Scheduler.tqCPU outside the feedback path`
+	s.queueSeconds = 0 // want `write to queue clock Scheduler.queueSeconds outside the feedback path`
+	for i := range s.TQGPU {
+		s.TQGPU[i] = 0 // want `write to queue clock Scheduler.TQGPU outside the feedback path`
+	}
+}

@@ -1,0 +1,16 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/ctxleak"
+)
+
+// TestFixture covers both rules: app leaks a cross-package consumer
+// (known only through worker's ChanWorker fact) and an inline one — both
+// get close-before-return fixes — and starts a context-ignoring loop
+// goroutine, which is diagnosed without a fix.
+func TestFixture(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", ctxleak.Analyzer)
+}

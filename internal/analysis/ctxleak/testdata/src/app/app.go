@@ -1,0 +1,61 @@
+// Package app leaks worker goroutines on error paths.
+package app
+
+import (
+	"context"
+	"errors"
+
+	"fix/worker"
+)
+
+// Run fans jobs out to a cross-package consumer known only via facts.
+func Run(jobs []int) error {
+	ch := make(chan int)
+	go worker.Drain(ch)
+	for _, j := range jobs {
+		if j < 0 {
+			return errors.New("negative job") // want `return leaks the goroutine consuming ch`
+		}
+		ch <- j
+	}
+	close(ch)
+	return nil
+}
+
+// Inline drains with a local literal consumer.
+func Inline(jobs []int) error {
+	results := make(chan int, len(jobs))
+	go func() {
+		for range results {
+		}
+	}()
+	if len(jobs) == 0 {
+		return errors.New("no jobs") // want `return leaks the goroutine consuming results`
+	}
+	for _, j := range jobs {
+		results <- j
+	}
+	close(results)
+	return nil
+}
+
+// Loop starts an uncancellable worker despite having a context in scope.
+func Loop(ctx context.Context, ch chan int) {
+	go func() { // want `goroutine loops forever but ignores the in-scope context`
+		for range ch {
+		}
+	}()
+}
+
+// Watch consults the context, so its worker shuts down cleanly.
+func Watch(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}

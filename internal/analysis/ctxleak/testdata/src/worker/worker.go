@@ -1,0 +1,16 @@
+// Package worker supplies cross-package channel consumers; the ctxleak
+// pass on this package exports a ChanWorker fact for Drain, which is the
+// only way the sibling app package can know that Drain blocks until its
+// argument is closed.
+package worker
+
+// Drain consumes values until ch is closed.
+func Drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Peek reads a single value; it does not range, so no fact is recorded.
+func Peek(ch chan int) int {
+	return <-ch
+}

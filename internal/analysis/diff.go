@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders the difference between old and new file contents in
+// unified format (3 lines of context), for `olaplint -diff` dry runs. The
+// implementation is a plain LCS over lines: source files are small and
+// determinism matters more than diff minimality heuristics.
+func UnifiedDiff(name string, old, new []byte) string {
+	a := splitLines(string(old))
+	b := splitLines(string(new))
+	ops := diffOps(a, b)
+	if len(ops) == 0 {
+		return ""
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", name, name)
+
+	const ctx = 3
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// Expand a hunk around this run of changes.
+		start := i
+		end := i
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind != opEqual {
+				end = j
+				continue
+			}
+			// A gap of more than 2*ctx equal lines splits hunks.
+			gap := 0
+			for k := j; k < len(ops) && ops[k].kind == opEqual; k++ {
+				gap++
+			}
+			if gap > 2*ctx {
+				break
+			}
+		}
+		hunkStart := start
+		for hunkStart > 0 && ops[hunkStart-1].kind == opEqual && start-hunkStart < ctx {
+			hunkStart--
+		}
+		hunkEnd := end
+		for hunkEnd+1 < len(ops) && ops[hunkEnd+1].kind == opEqual && hunkEnd-end < ctx {
+			hunkEnd++
+		}
+
+		aStart, bStart := ops[hunkStart].aIdx, ops[hunkStart].bIdx
+		aCount, bCount := 0, 0
+		for k := hunkStart; k <= hunkEnd; k++ {
+			switch ops[k].kind {
+			case opEqual:
+				aCount++
+				bCount++
+			case opDelete:
+				aCount++
+			case opInsert:
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for k := hunkStart; k <= hunkEnd; k++ {
+			switch ops[k].kind {
+			case opEqual:
+				sb.WriteString(" " + a[ops[k].aIdx] + "\n")
+			case opDelete:
+				sb.WriteString("-" + a[ops[k].aIdx] + "\n")
+			case opInsert:
+				sb.WriteString("+" + b[ops[k].bIdx] + "\n")
+			}
+		}
+		i = hunkEnd + 1
+	}
+	return sb.String()
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opInsert
+)
+
+type diffOp struct {
+	kind       opKind
+	aIdx, bIdx int
+}
+
+// diffOps computes an edit script via dynamic-programming LCS.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = length of LCS of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	changed := false
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, i, j})
+			changed = true
+			i++
+		default:
+			ops = append(ops, diffOp{opInsert, i, j})
+			changed = true
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, i, j})
+		changed = true
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opInsert, i, j})
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return ops
+}
+
+// splitLines splits s into lines without trailing newlines; a trailing
+// final newline does not produce a phantom empty line.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}

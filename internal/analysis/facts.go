@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Facts mechanism: a pass analyzing package P may
+// export facts about P's objects (or P itself); passes of the same
+// analyzer on packages that import P read them back. Because the importing
+// pass sees P only through compiler export data — a *different*
+// *types.Package than the one the exporting pass parsed — facts cannot be
+// keyed by object identity. Instead each fact is keyed by a stable textual
+// object path within its package (a miniature of x/tools' objectpath) and
+// its value is gob-serialized at export time, exactly as the real
+// framework serializes facts alongside export data. The gob round-trip is
+// deliberate even though the store is in-memory: it enforces that every
+// fact stays a plain value, so the suite would port unchanged to an
+// on-disk fact cache.
+
+// factKey addresses one serialized fact.
+type factKey struct {
+	analyzer string // Analyzer.Name
+	pkg      string // package import path
+	obj      string // object path within pkg; "" for package facts
+	typ      string // concrete Go type of the fact
+}
+
+// factStore holds every fact of one Analyze run in serialized form.
+type factStore struct {
+	m map[factKey][]byte
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey][]byte)}
+}
+
+func (s *factStore) set(analyzer, pkg, obj string, fact Fact) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return fmt.Errorf("encoding %T fact: %v", fact, err)
+	}
+	s.m[factKey{analyzer, pkg, obj, factType(fact)}] = buf.Bytes()
+	return nil
+}
+
+func (s *factStore) get(analyzer, pkg, obj string, fact Fact) bool {
+	b, ok := s.m[factKey{analyzer, pkg, obj, factType(fact)}]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(fact) == nil
+}
+
+// factType names the concrete type of a fact; pointer and value spellings
+// collapse to one name so export and import agree.
+func factType(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.PkgPath() + "." + t.Name()
+}
+
+// allowsFact reports whether the analyzer declared this fact type.
+func (a *Analyzer) allowsFact(f Fact) bool {
+	for _, ft := range a.FactTypes {
+		if factType(ft) == factType(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportObjectFact records fact about obj, which must belong to the
+// package under analysis, for passes on dependent packages to import.
+// Misuse — a foreign object or an undeclared fact type — panics: both are
+// programming errors in the analyzer, not findings.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact on object outside %s", p.Analyzer.Name, p.Pkg.Path()))
+	}
+	p.exportFact(obj, fact)
+}
+
+// ExportPackageFact records fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.exportFact(nil, fact)
+}
+
+func (p *Pass) exportFact(obj types.Object, fact Fact) {
+	if !p.Analyzer.allowsFact(fact) {
+		panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact))
+	}
+	if p.facts == nil {
+		return
+	}
+	path := ""
+	if obj != nil {
+		var ok bool
+		path, ok = objectPath(obj)
+		if !ok {
+			// The object has no stable cross-package address (e.g. a
+			// local variable); dependent packages cannot name it either,
+			// so there is nothing to record.
+			return
+		}
+	}
+	if err := p.facts.set(p.Analyzer.Name, p.Pkg.Path(), path, fact); err != nil {
+		panic(fmt.Sprintf("%s: %v", p.Analyzer.Name, err))
+	}
+}
+
+// ImportObjectFact copies into fact the previously exported fact of the
+// same type about obj (from this package or any dependency analyzed
+// earlier) and reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if !p.Analyzer.allowsFact(fact) {
+		panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact))
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), path, fact)
+}
+
+// ImportPackageFact copies into fact the package-level fact previously
+// exported about pkg and reports whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	if !p.Analyzer.allowsFact(fact) {
+		panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, fact))
+	}
+	return p.facts.get(p.Analyzer.Name, pkg.Path(), "", fact)
+}
+
+// objectPath returns a stable textual address for obj within its package,
+// resolvable against any view of that package (parsed source or export
+// data). Supported shapes:
+//
+//	o.Name          package-scope object (func, var, const, type)
+//	f.Type.Field    field of a package-scope named struct type
+//	m.Type.Method   method of a package-scope named type
+//	<fn path>.p<i>  i'th parameter of a func or method
+//	<fn path>.r<i>  i'th result of a func or method
+//
+// Objects without one of these shapes (locals, anonymous-struct fields)
+// have no cross-package address and return ok=false.
+func objectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	scope := pkg.Scope()
+	if scope.Lookup(obj.Name()) == obj {
+		return "o." + obj.Name(), true
+	}
+	for _, name := range scope.Names() {
+		so := scope.Lookup(name)
+		if fn, ok := so.(*types.Func); ok {
+			if path, ok := pathInSignature(fn, "o."+name, obj); ok {
+				return path, true
+			}
+		}
+		tn, ok := so.(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m == obj {
+				return "m." + name + "." + m.Name(), true
+			}
+			if path, ok := pathInSignature(m, "m."+name+"."+m.Name(), obj); ok {
+				return path, true
+			}
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return "f." + name + "." + obj.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// pathInSignature addresses obj if it is a parameter or result of fn.
+func pathInSignature(fn *types.Func, prefix string, obj types.Object) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return prefix + ".p" + strconv.Itoa(i), true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if sig.Results().At(i) == obj {
+			return prefix + ".r" + strconv.Itoa(i), true
+		}
+	}
+	return "", false
+}
+
+// resolveObjectPath is objectPath's inverse: it finds the object a path
+// denotes inside pkg, or nil. Exported for tests via the package API only.
+func resolveObjectPath(pkg *types.Package, path string) types.Object {
+	parts := strings.Split(path, ".")
+	if len(parts) < 2 {
+		return nil
+	}
+	scope := pkg.Scope()
+	var base types.Object
+	var rest []string
+	switch parts[0] {
+	case "o":
+		base = scope.Lookup(parts[1])
+		rest = parts[2:]
+	case "f", "m":
+		if len(parts) < 3 {
+			return nil
+		}
+		tn, ok := scope.Lookup(parts[1]).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		if parts[0] == "f" {
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return nil
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == parts[2] {
+					return st.Field(i)
+				}
+			}
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == parts[2] {
+				base = named.Method(i)
+				break
+			}
+		}
+		rest = parts[3:]
+	default:
+		return nil
+	}
+	if base == nil {
+		return nil
+	}
+	if len(rest) == 0 {
+		return base
+	}
+	fn, ok := base.(*types.Func)
+	if !ok || len(rest) != 1 || len(rest[0]) < 2 {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	i, err := strconv.Atoi(rest[0][1:])
+	if err != nil || i < 0 {
+		return nil
+	}
+	switch rest[0][0] {
+	case 'p':
+		if i < sig.Params().Len() {
+			return sig.Params().At(i)
+		}
+	case 'r':
+		if i < sig.Results().Len() {
+			return sig.Results().At(i)
+		}
+	}
+	return nil
+}

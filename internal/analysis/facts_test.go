@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testFact is a minimal serializable fact.
+type testFact struct {
+	Tag string
+}
+
+func (*testFact) AFact() {}
+
+const factSrc = `package p
+
+type Model struct {
+	Clock float64
+	other int
+}
+
+func (m *Model) Update(delta float64) float64 { return delta }
+
+func Estimate(sizeMB float64) float64 { return sizeMB }
+
+var Budget float64
+`
+
+// checkSrc type-checks factSrc into a fresh *types.Package, simulating
+// either the exporting pass's source view or the importing pass's
+// export-data view (object identity differs between the two).
+func checkSrc(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func newTestPass(pkg *types.Package, store *factStore) *Pass {
+	return &Pass{
+		Analyzer: &Analyzer{Name: "factcheck", FactTypes: []Fact{(*testFact)(nil)}},
+		Pkg:      pkg,
+		facts:    store,
+	}
+}
+
+// TestFactRoundTripAcrossViews is the core facts contract: a fact
+// exported against one view of a package must be importable against a
+// *different* view of the same package — distinct types.Object pointers,
+// equal object paths — because importing passes see dependencies through
+// export data, not the exporter's AST.
+func TestFactRoundTripAcrossViews(t *testing.T) {
+	exportView := checkSrc(t)
+	importView := checkSrc(t)
+	store := newFactStore()
+
+	exp := newTestPass(exportView, store)
+	targets := []string{"o.Estimate.p0", "o.Estimate.r0", "f.Model.Clock", "m.Model.Update.p0", "o.Budget"}
+	for _, path := range targets {
+		obj := resolveObjectPath(exportView, path)
+		if obj == nil {
+			t.Fatalf("resolveObjectPath(%q) found nothing in export view", path)
+		}
+		exp.ExportObjectFact(obj, &testFact{Tag: path})
+	}
+	exp.ExportPackageFact(&testFact{Tag: "pkg-level"})
+
+	imp := newTestPass(importView, store)
+	for _, path := range targets {
+		obj := resolveObjectPath(importView, path)
+		if obj == nil {
+			t.Fatalf("resolveObjectPath(%q) found nothing in import view", path)
+		}
+		if obj == resolveObjectPath(exportView, path) {
+			t.Fatalf("test is vacuous: views share object identity for %q", path)
+		}
+		var got testFact
+		if !imp.ImportObjectFact(obj, &got) {
+			t.Errorf("fact for %q not importable from the other view", path)
+			continue
+		}
+		if got.Tag != path {
+			t.Errorf("fact for %q round-tripped as %q", path, got.Tag)
+		}
+	}
+	var pf testFact
+	if !imp.ImportPackageFact(importView, &pf) || pf.Tag != "pkg-level" {
+		t.Errorf("package fact round-trip failed: %+v", pf)
+	}
+}
+
+// TestFactMisuse pins the programming-error contract: foreign objects and
+// undeclared fact types panic; unaddressable objects are silently skipped.
+func TestFactMisuse(t *testing.T) {
+	pkg := checkSrc(t)
+	other := checkSrc(t)
+	store := newFactStore()
+	pass := newTestPass(pkg, store)
+
+	mustPanic(t, "foreign object", func() {
+		pass.ExportObjectFact(resolveObjectPath(other, "o.Budget"), &testFact{})
+	})
+
+	type unregistered struct{ Fact }
+	mustPanic(t, "undeclared fact type", func() {
+		obj := resolveObjectPath(pkg, "o.Budget")
+		pass.ExportObjectFact(obj, &unregistered{})
+	})
+
+	// The unexported field is addressable; importing with the wrong type
+	// finds nothing rather than corrupting.
+	obj := resolveObjectPath(pkg, "f.Model.other")
+	if obj == nil {
+		t.Fatal("unexported field not resolvable")
+	}
+	var got testFact
+	if pass.ImportObjectFact(obj, &got) {
+		t.Error("imported a fact that was never exported")
+	}
+}
+
+// TestObjectPathUnaddressable: local variables have no cross-package
+// address, so export is a silent no-op and the store stays empty.
+func TestObjectPathUnaddressable(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "q.go", "package q\n\nfunc F() { x := 1; _ = x }\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object)}
+	pkg, err := (&types.Config{}).Check("example.com/q", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "x" {
+			local = obj
+		}
+	}
+	if local == nil {
+		t.Fatal("local x not found")
+	}
+	store := newFactStore()
+	pass := newTestPass(pkg, store)
+	pass.ExportObjectFact(local, &testFact{Tag: "local"})
+	if len(store.m) != 0 {
+		t.Errorf("fact recorded for unaddressable local: %v", store.m)
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

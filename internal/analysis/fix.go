@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// This file is the SuggestedFix application engine behind `olaplint -fix`.
+// Fix application is deterministic: diagnostics are processed in position
+// order, only the first fix of each diagnostic is taken (it is the
+// analyzer's preferred repair), duplicate edits collapse, and overlapping
+// edits from different diagnostics are an error rather than a silent
+// last-writer-wins.
+
+// fileEdit is one TextEdit resolved to byte offsets within a file.
+type fileEdit struct {
+	start, end int
+	text       string
+}
+
+// ApplyFixes computes the result of applying every diagnostic's first
+// suggested fix. It returns the new contents of each changed file, keyed
+// by filename, and the number of edits applied. Files are read from disk;
+// nothing is written — the caller decides between writing (-fix) and
+// diffing (-diff).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, int, error) {
+	ordered := append([]Diagnostic(nil), diags...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Pos < ordered[j].Pos })
+
+	perFile := make(map[string][]fileEdit)
+	for _, d := range ordered {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			pos := fset.Position(te.Pos)
+			if !pos.IsValid() {
+				return nil, 0, fmt.Errorf("fix %q: invalid edit position", d.SuggestedFixes[0].Message)
+			}
+			end := pos
+			if te.End.IsValid() {
+				end = fset.Position(te.End)
+			}
+			if end.Filename != pos.Filename || end.Offset < pos.Offset {
+				return nil, 0, fmt.Errorf("fix %q: malformed edit range in %s", d.SuggestedFixes[0].Message, pos.Filename)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], fileEdit{start: pos.Offset, end: end.Offset, text: te.NewText})
+		}
+	}
+
+	out := make(map[string][]byte)
+	total := 0
+	// Deterministic file order for error reporting.
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := dedupeEdits(perFile[file])
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end ||
+				(edits[i].start == edits[i-1].start && edits[i].end == edits[i-1].end) {
+				return nil, 0, fmt.Errorf("%s: conflicting suggested fixes overlap at byte %d; re-run after applying one of them", file, edits[i].start)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		fixed, n, err := splice(src, edits)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %v", file, err)
+		}
+		if n > 0 {
+			out[file] = fixed
+			total += n
+		}
+	}
+	return out, total, nil
+}
+
+// dedupeEdits sorts edits and drops exact duplicates (several diagnostics
+// may legitimately suggest the identical insertion, e.g. one directive
+// covering every finding in a function).
+func dedupeEdits(edits []fileEdit) []fileEdit {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		if edits[i].end != edits[j].end {
+			return edits[i].end < edits[j].end
+		}
+		return edits[i].text < edits[j].text
+	})
+	out := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// splice applies sorted, non-overlapping edits to src.
+func splice(src []byte, edits []fileEdit) ([]byte, int, error) {
+	var out []byte
+	prev := 0
+	n := 0
+	for _, e := range edits {
+		if e.start < prev || e.end > len(src) {
+			return nil, 0, fmt.Errorf("edit range [%d,%d) out of bounds", e.start, e.end)
+		}
+		out = append(out, src[prev:e.start]...)
+		out = append(out, e.text...)
+		prev = e.end
+		n++
+	}
+	out = append(out, src[prev:]...)
+	return out, n, nil
+}

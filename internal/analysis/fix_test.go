@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixFile writes content to disk and registers it in fset so token.Pos
+// values resolve to real byte offsets, the way loaded packages do.
+func fixFile(t *testing.T, fset *token.FileSet, content string) (string, *token.File) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.AddFile(path, -1, len(content))
+	tf.SetLinesForContent([]byte(content))
+	return path, tf
+}
+
+func editAt(tf *token.File, start, end int, text string) TextEdit {
+	return TextEdit{Pos: tf.Pos(start), End: tf.Pos(end), NewText: text}
+}
+
+// TestApplyFixesBasic applies an insertion and a replacement from two
+// diagnostics and checks the spliced output; nothing may touch the file
+// on disk.
+func TestApplyFixesBasic(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "alpha beta gamma\n"
+	path, tf := fixFile(t, fset, src)
+
+	diags := []Diagnostic{
+		{
+			Pos: tf.Pos(6),
+			SuggestedFixes: []SuggestedFix{{
+				Message:   "replace beta",
+				TextEdits: []TextEdit{editAt(tf, 6, 10, "BETA")},
+			}},
+		},
+		{
+			Pos: tf.Pos(0),
+			SuggestedFixes: []SuggestedFix{{
+				Message:   "prefix",
+				TextEdits: []TextEdit{editAt(tf, 0, 0, "// hdr\n")},
+			}},
+		},
+	}
+	fixed, n, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("applied %d edits, want 2", n)
+	}
+	want := "// hdr\nalpha BETA gamma\n"
+	if got := string(fixed[path]); got != want {
+		t.Errorf("spliced output %q, want %q", got, want)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != src {
+		t.Errorf("ApplyFixes wrote to disk")
+	}
+}
+
+// TestApplyFixesDedupe: identical edits from several diagnostics (one
+// directive fixing every finding in a function) collapse to one.
+func TestApplyFixesDedupe(t *testing.T) {
+	fset := token.NewFileSet()
+	path, tf := fixFile(t, fset, "body\n")
+	same := SuggestedFix{Message: "directive", TextEdits: []TextEdit{editAt(tf, 0, 0, "// directive\n")}}
+	diags := []Diagnostic{
+		{Pos: tf.Pos(0), SuggestedFixes: []SuggestedFix{same}},
+		{Pos: tf.Pos(1), SuggestedFixes: []SuggestedFix{same}},
+		{Pos: tf.Pos(2), SuggestedFixes: []SuggestedFix{same}},
+	}
+	fixed, n, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("applied %d edits, want 1 after dedupe", n)
+	}
+	if got := string(fixed[path]); got != "// directive\nbody\n" {
+		t.Errorf("spliced output %q", got)
+	}
+}
+
+// TestApplyFixesConflict: overlapping edits from different diagnostics
+// must error, never last-writer-wins.
+func TestApplyFixesConflict(t *testing.T) {
+	fset := token.NewFileSet()
+	_, tf := fixFile(t, fset, "abcdefgh\n")
+	diags := []Diagnostic{
+		{Pos: tf.Pos(0), SuggestedFixes: []SuggestedFix{{TextEdits: []TextEdit{editAt(tf, 0, 4, "X")}}}},
+		{Pos: tf.Pos(2), SuggestedFixes: []SuggestedFix{{TextEdits: []TextEdit{editAt(tf, 2, 6, "Y")}}}},
+	}
+	if _, _, err := ApplyFixes(fset, diags); err == nil {
+		t.Fatal("overlapping edits applied without error")
+	}
+}
+
+// TestApplyFixesFirstFixOnly: only the first (preferred) fix of a
+// diagnostic is taken.
+func TestApplyFixesFirstFixOnly(t *testing.T) {
+	fset := token.NewFileSet()
+	path, tf := fixFile(t, fset, "pick\n")
+	diags := []Diagnostic{{
+		Pos: tf.Pos(0),
+		SuggestedFixes: []SuggestedFix{
+			{Message: "preferred", TextEdits: []TextEdit{editAt(tf, 0, 4, "first")}},
+			{Message: "alternative", TextEdits: []TextEdit{editAt(tf, 0, 4, "second")}},
+		},
+	}}
+	fixed, _, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(fixed[path]); got != "first\n" {
+		t.Errorf("ApplyFixes took the wrong fix: %q", got)
+	}
+}
+
+// TestUnifiedDiff checks hunk structure on a small change and that equal
+// inputs produce no output.
+func TestUnifiedDiff(t *testing.T) {
+	old := "a\nb\nc\nd\ne\nf\ng\n"
+	new := "a\nb\nc\nD\ne\nf\ng\n"
+	got := UnifiedDiff("x.go", []byte(old), []byte(new))
+	for _, want := range []string{"--- a/x.go", "+++ b/x.go", "-d", "+D", "@@ -1,7 +1,7 @@"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff missing %q:\n%s", want, got)
+		}
+	}
+	if d := UnifiedDiff("x.go", []byte(old), []byte(old)); d != "" {
+		t.Errorf("diff of identical inputs is %q", d)
+	}
+}

@@ -25,6 +25,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports lists the import paths this package depends on directly;
+	// Analyze uses them to order passes so facts flow dependencies-first.
+	Imports []string
 }
 
 // listedPkg mirrors the subset of `go list -json` output the loader needs.
@@ -32,6 +35,7 @@ type listedPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -61,14 +65,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		exp, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(exp)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
 
 	var pkgs []*Package
 	for _, lp := range listed {
@@ -87,10 +84,23 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// exportLookup resolves an import path to its compiler export data file,
+// as produced by `go list -export`. A miss means the build graph is
+// incomplete (the dependency failed to compile or was never listed).
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+}
+
 func goList(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,DepOnly,Error",
 		"--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -138,21 +148,55 @@ func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPkg) (*Packa
 		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
 	}
 	return &Package{
-		Path:  lp.ImportPath,
-		Dir:   lp.Dir,
-		Fset:  fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: lp.Imports,
 	}, nil
 }
 
-// Analyze runs every analyzer over every package and returns the combined
-// diagnostics in the order they were reported.
+// dependencyOrder sorts pkgs so every package follows the packages it
+// imports (restricted to the analyzed set): a pass may then import facts
+// that passes on its dependencies already exported. Ties keep input order,
+// so the result is deterministic.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	visited := make(map[string]bool, len(pkgs))
+	ordered := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p.Path] {
+			return
+		}
+		visited[p.Path] = true // pre-mark: import cycles cannot occur in Go, but be safe
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		ordered = append(ordered, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return ordered
+}
+
+// Analyze runs every analyzer over every package — dependencies first, so
+// facts exported by a pass are importable by passes on dependent packages
+// — and returns the combined diagnostics.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ordered := dependencyOrder(pkgs)
+	facts := newFactStore()
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		for _, pkg := range ordered {
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -162,6 +206,7 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Report: func(d Diagnostic) {
 					diags = append(diags, d)
 				},
+				facts: facts,
 			}
 			// Analyzer failures are programming errors in the suite, not
 			// findings; surface them as diagnostics so the driver exits

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadNoModule loads a directory with Go files but no go.mod: the go
+// list invocation must surface a module-resolution error rather than
+// silently matching nothing.
+func TestLoadNoModule(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load outside a module succeeded; want go list failure")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error does not identify the failing stage: %v", err)
+	}
+}
+
+// TestLoadSyntaxError loads a module whose only package does not parse.
+// The driver exits 2 on this path; the loader must return the error, not
+// a half-loaded package list.
+func TestLoadSyntaxError(t *testing.T) {
+	dir := t.TempDir()
+	writeLoaderFile(t, dir, "go.mod", "module broken\n\ngo 1.22\n")
+	writeLoaderFile(t, dir, "b/b.go", "package b\n\nfunc Broken( {\n")
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load of a syntax-broken package succeeded")
+	}
+}
+
+// TestLoadTypeError loads a module that parses but does not type-check;
+// the type checker's error must carry the package path.
+func TestLoadTypeError(t *testing.T) {
+	dir := t.TempDir()
+	writeLoaderFile(t, dir, "go.mod", "module badtypes\n\ngo 1.22\n")
+	writeLoaderFile(t, dir, "c/c.go", "package c\n\nvar X int = \"not an int\"\n")
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load of a type-broken package succeeded")
+	}
+}
+
+// TestExportLookupMissing exercises the importer's miss path directly: a
+// dependency without export data means the build graph is incomplete, and
+// the lookup must say which import failed.
+func TestExportLookupMissing(t *testing.T) {
+	lookup := exportLookup(map[string]string{"present": "/tmp/present.a"})
+	if _, err := lookup("absent/pkg"); err == nil {
+		t.Fatal("lookup of unlisted package succeeded")
+	} else if !strings.Contains(err.Error(), `"absent/pkg"`) {
+		t.Errorf("miss error does not name the import: %v", err)
+	}
+}
+
+// TestDependencyOrder checks the fact-flow invariant: every package comes
+// after all packages it imports, ties keep input order.
+func TestDependencyOrder(t *testing.T) {
+	a := &Package{Path: "m/a", Imports: []string{"m/b", "m/c"}}
+	b := &Package{Path: "m/b", Imports: []string{"m/c"}}
+	c := &Package{Path: "m/c"}
+	d := &Package{Path: "m/d"} // independent
+
+	ordered := dependencyOrder([]*Package{a, d, b, c})
+	idx := make(map[string]int, len(ordered))
+	for i, p := range ordered {
+		idx[p.Path] = i
+	}
+	if len(ordered) != 4 {
+		t.Fatalf("dependencyOrder dropped packages: %v", idx)
+	}
+	for _, dep := range []struct{ before, after string }{
+		{"m/c", "m/b"}, {"m/b", "m/a"}, {"m/c", "m/a"},
+	} {
+		if idx[dep.before] >= idx[dep.after] {
+			t.Errorf("%s must precede %s, got order %v", dep.before, dep.after, idx)
+		}
+	}
+	// Determinism: the same input yields the same order.
+	again := dependencyOrder([]*Package{a, d, b, c})
+	for i := range ordered {
+		if ordered[i].Path != again[i].Path {
+			t.Fatalf("dependencyOrder is not deterministic: %v vs %v", ordered, again)
+		}
+	}
+}
+
+func writeLoaderFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

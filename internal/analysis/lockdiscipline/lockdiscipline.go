@@ -33,7 +33,29 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	c := &checker{pass: pass}
+	c := &checker{pass: pass, closureBindings: make(map[types.Object]ast.Expr)}
+	// Prescan: record local func-valued bindings (`unlock := func() {…}`,
+	// `unlock := sync.OnceFunc(…)`) so `defer unlock()` can be resolved to
+	// the unlocks the bound closure performs.
+	pass.Preorder(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				c.recordBinding(lhs, n.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				c.recordBinding(name, n.Values[i])
+			}
+		}
+		return true
+	})
 	pass.Preorder(func(n ast.Node) bool {
 		if n == nil {
 			return false
@@ -66,6 +88,31 @@ func run(pass *analysis.Pass) (any, error) {
 
 type checker struct {
 	pass *analysis.Pass
+	// closureBindings maps a func-valued variable to the expression it was
+	// bound to; deferredUnlocks resolves `defer name()` through it.
+	closureBindings map[types.Object]ast.Expr
+}
+
+// recordBinding remembers lhs = rhs when lhs is an identifier bound to a
+// function-typed expression. A rebinding overwrites: for lint purposes the
+// most recent closure wins, which can at worst hide a leak, never invent
+// one.
+func (c *checker) recordBinding(lhs ast.Expr, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if _, ok := obj.Type().Underlying().(*types.Signature); !ok {
+		return
+	}
+	c.closureBindings[obj] = rhs
 }
 
 // containsLocker reports whether t holds a sync.Mutex or sync.RWMutex by
@@ -182,8 +229,10 @@ func unlockFor(name string) string {
 	return "Unlock"
 }
 
-// deferredUnlocks returns the "key.Op" pairs a defer statement releases,
-// whether it defers mu.Unlock directly or a closure that calls it.
+// deferredUnlocks returns the "key.Op" pairs a defer statement releases:
+// a direct mu.Unlock, an immediately-invoked closure, or a named local
+// binding of a closure — including one wrapped in sync.OnceFunc, the
+// idiomatic shape for an unlock that several paths may trigger.
 func (c *checker) deferredUnlocks(d *ast.DeferStmt) []string {
 	if key, name, ok := c.lockCall(d.Call); ok {
 		if name == "Unlock" || name == "RUnlock" {
@@ -191,10 +240,35 @@ func (c *checker) deferredUnlocks(d *ast.DeferStmt) []string {
 		}
 		return nil
 	}
-	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
-	if !ok {
-		return nil
+	return c.closureUnlocks(d.Call.Fun, make(map[types.Object]bool))
+}
+
+// closureUnlocks resolves a function-valued expression to the unlocks
+// invoking it performs, following local bindings and sync.OnceFunc
+// wrappers. seen breaks rebinding cycles.
+func (c *checker) closureUnlocks(e ast.Expr, seen map[types.Object]bool) []string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return c.literalUnlocks(e)
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil || seen[obj] {
+			return nil
+		}
+		seen[obj] = true
+		if bound, ok := c.closureBindings[obj]; ok {
+			return c.closureUnlocks(bound, seen)
+		}
+	case *ast.CallExpr:
+		if c.isOnceFunc(e) && len(e.Args) == 1 {
+			return c.closureUnlocks(e.Args[0], seen)
+		}
 	}
+	return nil
+}
+
+// literalUnlocks collects the unlock calls a function literal performs.
+func (c *checker) literalUnlocks(lit *ast.FuncLit) []string {
 	var released []string
 	ast.Inspect(lit.Body, func(m ast.Node) bool {
 		if call, ok := m.(*ast.CallExpr); ok {
@@ -205,6 +279,19 @@ func (c *checker) deferredUnlocks(d *ast.DeferStmt) []string {
 		return true
 	})
 	return released
+}
+
+// isOnceFunc reports whether call invokes sync.OnceFunc.
+func (c *checker) isOnceFunc(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "OnceFunc"
 }
 
 // releases reports whether defer d releases key with unlockOp.

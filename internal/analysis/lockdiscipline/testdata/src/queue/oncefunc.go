@@ -1,0 +1,50 @@
+// Regression fixture: a defer of a named closure (or sync.OnceFunc
+// wrapper) that unlocks must count as a release. Earlier versions only
+// resolved `defer mu.Unlock()` and `defer func(){…}()`, so the Guarded
+// shapes below were false positives.
+package queue
+
+import "sync"
+
+func cond() bool { return true }
+
+// GuardedOnce uses the sync.OnceFunc idiom: several paths may trigger the
+// unlock, the wrapper makes repeats harmless.
+func GuardedOnce(mu *sync.Mutex) int {
+	unlock := sync.OnceFunc(func() { mu.Unlock() })
+	mu.Lock()
+	defer unlock()
+	if cond() {
+		return 1
+	}
+	return 2
+}
+
+// GuardedClosure binds a plain closure and defers it.
+func GuardedClosure(mu *sync.Mutex) int {
+	release := func() { mu.Unlock() }
+	mu.Lock()
+	defer release()
+	return 0
+}
+
+// GuardedChained resolves through two bindings.
+func GuardedChained(mu *sync.Mutex) int {
+	release := func() { mu.Unlock() }
+	cleanup := release
+	mu.Lock()
+	defer cleanup()
+	return 0
+}
+
+// StillLeaks defers a closure that does not unlock; the finding must
+// survive the new resolution.
+func StillLeaks(mu *sync.Mutex) int {
+	cleanup := func() {}
+	mu.Lock() // want `mu locked but never Unlocked`
+	defer cleanup()
+	if cond() { // want `branch may return without releasing mu.Lock`
+		return 1
+	}
+	return 2
+}

@@ -1,0 +1,31 @@
+// Package engine mixes units across the package boundary; every verdict
+// about perfmodel identifiers below reaches this pass through imported
+// Unit facts, not by re-deriving names locally.
+package engine
+
+import "fix/perfmodel"
+
+type stats struct {
+	TotalSeconds float64
+	WaitMS       float64
+	ScanMB       float64
+}
+
+// Merge accumulates model outputs into running stats.
+func Merge(m *perfmodel.Model, s *stats) float64 {
+	sum := m.BaseSeconds + m.LatencyMS // want `cross-unit arithmetic: seconds value \+ milliseconds value`
+	if s.TotalSeconds > s.WaitMS {     // want `cross-unit arithmetic: seconds value > milliseconds value`
+		sum++
+	}
+	m.Record(s.WaitMS)        // want `passing a milliseconds value as seconds parameter "durSeconds" of Record`
+	s.WaitMS = s.TotalSeconds // want `assigning a seconds value to s.WaitMS, which holds milliseconds`
+	s.TotalSeconds = m.LatencyMS / 1000
+	elapsed := perfmodel.CPUSeconds(s.ScanMB)
+	s.WaitMS += elapsed // want `assigning a seconds value to s.WaitMS, which holds milliseconds`
+	return sum + elapsed
+}
+
+// Build constructs a model from a millisecond measurement.
+func Build(durMS float64) perfmodel.Model {
+	return perfmodel.Model{BaseSeconds: durMS} // want `field BaseSeconds holds seconds but is set from a milliseconds value`
+}

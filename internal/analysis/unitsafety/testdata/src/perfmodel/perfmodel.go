@@ -1,0 +1,25 @@
+// Package perfmodel is a miniature estimator API whose identifiers carry
+// units by naming convention, exactly like the repository's real
+// internal/perfmodel. The unitsafety pass on this package exports Unit
+// facts for the struct fields, parameters and results below; the sibling
+// engine package imports them.
+package perfmodel
+
+// Model holds calibrated service times.
+type Model struct {
+	BaseSeconds float64
+	LatencyMS   float64
+	ScanMB      float64
+}
+
+// CPUSeconds estimates CPU service time for a scan of scMB megabytes.
+// The result unit comes from the function name: the result variable is
+// unnamed, so call sites can only learn "seconds" through the fact.
+func CPUSeconds(scMB float64) float64 {
+	return scMB * 0.0001
+}
+
+// Record folds a measured duration into the model.
+func (m *Model) Record(durSeconds float64) {
+	m.BaseSeconds = durSeconds
+}

@@ -1,0 +1,462 @@
+// Package unitsafety tracks the measurement unit of time- and size-valued
+// float64 expressions and flags arithmetic that silently mixes units.
+//
+// Every quantity feeding the paper's response-time estimate — the T_Q
+// queue clocks, T_TRANS, the eq. 4–10 cube model outputs and the
+// eq. 17–18 dictionary bounds — is a bare float64, and the deadline
+// comparison of Fig. 10 is only meaningful if all of them are in seconds.
+// A single milliseconds value summed into a seconds clock, or a seconds
+// estimate passed to a milliseconds API, skews every subsequent placement
+// by three orders of magnitude without any type error.
+//
+// Units are inferred from naming conventions the repository already uses
+// (CPUSeconds, TransSeconds, LatencyMS, scMB, T_Q, ...) and exported as
+// object facts on struct fields, function parameters and results, so a
+// package mixing units across a package boundary — engine passing seconds
+// into an olapd milliseconds field, say — is diagnosed from the owning
+// package's declaration, not re-guessed at the use site. Seconds ↔
+// milliseconds mismatches carry a suggested fix inserting the explicit
+// conversion.
+package unitsafety
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hybridolap/internal/analysis"
+)
+
+// Unit is the fact recording the measurement unit of an object (struct
+// field, parameter, result, or package-level variable).
+type Unit struct {
+	Name string // "s", "ms", "us", "MB", "B"
+}
+
+// AFact marks Unit as a serializable fact.
+func (*Unit) AFact() {}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "track the unit (seconds, milliseconds, megabytes) of float64 " +
+		"identifiers via facts and flag cross-unit arithmetic, assignments " +
+		"and call arguments; seconds/milliseconds mismatches get a fix",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Unit)(nil)},
+}
+
+// longName spells a unit out for diagnostics.
+var longName = map[string]string{
+	"s": "seconds", "ms": "milliseconds", "us": "microseconds",
+	"MB": "megabytes", "B": "bytes",
+}
+
+// schedNames are the paper's symbol names for second-valued quantities.
+var schedNames = map[string]bool{
+	"T_Q": true, "T_TRANS": true, "T_CPU": true, "T_GPU": true,
+	"T_R": true, "T_D": true, "T_C": true,
+}
+
+// unitFromName derives a unit from an identifier's name, or "".
+func unitFromName(name string) string {
+	switch {
+	case schedNames[name], name == "seconds", name == "secs",
+		strings.HasSuffix(name, "Seconds"), strings.HasSuffix(name, "Secs"):
+		return "s"
+	case name == "ms", strings.HasSuffix(name, "MS"), strings.HasSuffix(name, "Ms"),
+		strings.HasSuffix(name, "Millis"), strings.HasSuffix(name, "Milliseconds"):
+		return "ms"
+	case strings.HasSuffix(name, "Micros"), strings.HasSuffix(name, "Microseconds"):
+		return "us"
+	case name == "mb", strings.HasSuffix(name, "MB"):
+		return "MB"
+	case strings.HasSuffix(name, "Bytes"):
+		return "B"
+	}
+	return ""
+}
+
+// floatBased reports whether t is float64, a named type over float64, or a
+// slice/array of such — the shapes unit inference applies to.
+func floatBased(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64
+	case *types.Slice:
+		return floatBased(u.Elem())
+	case *types.Array:
+		return floatBased(u.Elem())
+	}
+	return false
+}
+
+// unitOfObject derives the unit of a declared object by name, gated on a
+// float64-based type.
+func unitOfObject(obj types.Object) string {
+	if obj == nil || !floatBased(obj.Type()) {
+		return ""
+	}
+	return unitFromName(obj.Name())
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, local: make(map[types.Object]string)}
+	c.exportFacts()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// local carries := inferred units for function-local variables.
+	local map[types.Object]string
+}
+
+// exportFacts publishes the unit of every package-level declaration this
+// package owns: struct fields, function/method parameters and results, and
+// package-scope variables. Dependent packages import these instead of
+// re-deriving names, so the owning package's convention is authoritative.
+func (c *checker) exportFacts() {
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Var, *types.Const:
+			c.exportObj(obj)
+		case *types.Func:
+			c.exportSignature(obj)
+		case *types.TypeName:
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					c.exportObj(st.Field(i))
+				}
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				c.exportSignature(named.Method(i))
+			}
+		}
+	}
+}
+
+func (c *checker) exportObj(obj types.Object) {
+	// Scope iteration can surface objects another package owns (embedded
+	// foreign fields, aliased types); only the owner exports facts.
+	if obj == nil || obj.Pkg() != c.pass.Pkg {
+		return
+	}
+	if u := unitOfObject(obj); u != "" {
+		c.pass.ExportObjectFact(obj, &Unit{Name: u})
+	}
+}
+
+// exportSignature tags parameters by their own names; a single float64
+// result (or float64+error pair) inherits a unit suffix on the function
+// name itself, the repository's convention for estimator functions
+// (EstimateSeconds, CPUTime → none, GPUSeconds → "s").
+func (c *checker) exportSignature(fn *types.Func) {
+	if fn.Pkg() != c.pass.Pkg {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		c.exportObj(sig.Params().At(i))
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		res := sig.Results().At(i)
+		c.exportObj(res)
+		if res.Name() == "" && i == 0 && floatBased(res.Type()) && res.Pkg() == c.pass.Pkg {
+			if u := unitFromName(fn.Name()); u != "" {
+				c.pass.ExportObjectFact(res, &Unit{Name: u})
+			}
+		}
+	}
+}
+
+// unitOfDecl resolves a declared object's unit: an exported/imported fact
+// first (the owner's verdict), then name derivation, then local inference.
+func (c *checker) unitOfDecl(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	var fact Unit
+	if c.pass.ImportObjectFact(obj, &fact) {
+		return fact.Name
+	}
+	if u := unitOfObject(obj); u != "" {
+		return u
+	}
+	return c.local[obj]
+}
+
+// isConvFactor reports whether e is the literal conversion constant 1000
+// (or 1e3), the only scale factor treated as a deliberate s↔ms change.
+func isConvFactor(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	return lit.Value == "1000" || lit.Value == "1e3" || lit.Value == "1000.0"
+}
+
+// unitOf computes the unit of an expression, "" when unknown or unitless.
+func (c *checker) unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.unitOf(e.X)
+	case *ast.Ident:
+		return c.unitOfDecl(c.pass.TypesInfo.Uses[e])
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok {
+			return c.unitOfDecl(sel.Obj())
+		}
+		return c.unitOfDecl(c.pass.TypesInfo.Uses[e.Sel])
+	case *ast.IndexExpr:
+		return c.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return c.unitOf(e.X)
+		}
+	case *ast.CallExpr:
+		return c.unitOfCall(e)
+	case *ast.BinaryExpr:
+		x, y := c.unitOf(e.X), c.unitOf(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if x == y {
+				return x
+			}
+			if x == "" {
+				return y
+			}
+			if y == "" {
+				return x
+			}
+		case token.MUL:
+			// seconds × 1000 is the millisecond conversion; any other
+			// known×known product is a new quantity (a rate), unknown.
+			if x == "s" && isConvFactor(e.Y) || y == "s" && isConvFactor(e.X) {
+				return "ms"
+			}
+			if x != "" && y != "" {
+				return ""
+			}
+			if isConvFactor(e.X) || isConvFactor(e.Y) {
+				return "" // scaled by the conversion factor away from s: unknown
+			}
+			if x == "" {
+				return y
+			}
+			return x
+		case token.QUO:
+			if x == "ms" && isConvFactor(e.Y) {
+				return "s"
+			}
+			if x != "" && y != "" {
+				return "" // a ratio or rate
+			}
+			if x != "" && !isConvFactor(e.Y) {
+				return x
+			}
+		}
+	}
+	return ""
+}
+
+// unitOfCall handles time.Duration accessors and functions whose result
+// carries a unit fact.
+func (c *checker) unitOfCall(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := c.pass.TypesInfo.TypeOf(sel.X); t != nil && isDuration(t) {
+			switch sel.Sel.Name {
+			case "Seconds":
+				return "s"
+			}
+		}
+	}
+	fn := c.pass.PkgFunc(call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return ""
+	}
+	return c.unitOfDecl(sig.Results().At(0))
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// checkFunc walks one function body diagnosing unit mixes.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	info := c.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.CallExpr:
+			c.checkCallArgs(n)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		}
+		// Record := inferences after checking, so `x := yMS` gives x unit
+		// ms for the statements that follow.
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE && len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil && floatBased(obj.Type()) {
+					if u := c.unitOf(as.Rhs[i]); u != "" {
+						c.local[obj] = u
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// comparable operators where mixing units is meaningless.
+var mixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) {
+	if !mixOps[e.Op] {
+		return
+	}
+	x, y := c.unitOf(e.X), c.unitOf(e.Y)
+	if x == "" || y == "" || x == y {
+		return
+	}
+	c.pass.Reportf(e.OpPos, "cross-unit arithmetic: %s value %s %s value; convert one side explicitly",
+		longName[x], e.Op, longName[y])
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lu := c.unitOf(as.Lhs[i])
+		ru := c.unitOf(as.Rhs[i])
+		if lu == "" || ru == "" || lu == ru {
+			continue
+		}
+		c.reportMismatch(as.Rhs[i], lu, ru,
+			fmt.Sprintf("assigning a %s value to %s, which holds %s", longName[ru], types.ExprString(as.Lhs[i]), longName[lu]))
+	}
+}
+
+func (c *checker) checkCallArgs(call *ast.CallExpr) {
+	fn := c.pass.PkgFunc(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		n-- // leave the variadic tail alone
+	}
+	for i := 0; i < n && i < len(call.Args); i++ {
+		param := sig.Params().At(i)
+		pu := c.unitOfDecl(param)
+		au := c.unitOf(call.Args[i])
+		if pu == "" || au == "" || pu == au {
+			continue
+		}
+		c.reportMismatch(call.Args[i], pu, au,
+			fmt.Sprintf("passing a %s value as %s parameter %q of %s", longName[au], longName[pu], param.Name(), fn.Name()))
+	}
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field := c.pass.TypesInfo.Uses[key]
+		fu := c.unitOfDecl(field)
+		vu := c.unitOf(kv.Value)
+		if fu == "" || vu == "" || fu == vu {
+			continue
+		}
+		c.reportMismatch(kv.Value, fu, vu,
+			fmt.Sprintf("field %s holds %s but is set from a %s value", key.Name, longName[fu], longName[vu]))
+	}
+}
+
+// reportMismatch reports expr carrying unit `have` where `want` is
+// expected, attaching the explicit conversion as a fix when the pair is
+// seconds/milliseconds.
+func (c *checker) reportMismatch(expr ast.Expr, want, have, msg string) {
+	var conv string
+	switch {
+	case have == "s" && want == "ms":
+		conv = " * 1000"
+	case have == "ms" && want == "s":
+		conv = " / 1000"
+	}
+	if conv == "" {
+		c.pass.Reportf(expr.Pos(), "unit mismatch: %s", msg)
+		return
+	}
+	edits := conversionEdits(expr, conv)
+	c.pass.ReportWithFix(expr.Pos(), "unit mismatch: "+msg, analysis.SuggestedFix{
+		Message:   fmt.Sprintf("convert %s to %s with `%s`", longName[have], longName[want], strings.TrimSpace(conv)),
+		TextEdits: edits,
+	})
+}
+
+// conversionEdits appends the conversion factor, parenthesizing compound
+// expressions so precedence survives.
+func conversionEdits(expr ast.Expr, conv string) []analysis.TextEdit {
+	switch expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.IndexExpr, *ast.ParenExpr, *ast.BasicLit:
+		return []analysis.TextEdit{{Pos: expr.End(), End: expr.End(), NewText: conv}}
+	}
+	return []analysis.TextEdit{
+		{Pos: expr.Pos(), End: expr.Pos(), NewText: "("},
+		{Pos: expr.End(), End: expr.End(), NewText: ")" + conv},
+	}
+}

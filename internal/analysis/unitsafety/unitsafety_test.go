@@ -1,0 +1,15 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/unitsafety"
+)
+
+// TestFixture runs the analyzer over a two-package module: perfmodel
+// exports Unit facts, engine imports them and mixes units. The golden
+// file checks the seconds↔milliseconds conversion fixes.
+func TestFixture(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", unitsafety.Analyzer)
+}

@@ -125,21 +125,28 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 		}()
 	}
 
-	// Drive: estimate, schedule, route.
+	// Drive: estimate, schedule, route. A submission error must not return
+	// directly: the workers above block on their channels forever unless
+	// every channel is closed, so the error is recorded, submission stops,
+	// and the in-flight jobs drain before the single exit below.
+	var submitErr error
 	for slot, q0 := range queries {
 		if q0.Grouped() {
-			return nil, fmt.Errorf("engine: query %d has GROUP BY; use RunGrouped", q0.ID)
+			submitErr = fmt.Errorf("engine: query %d has GROUP BY; use RunGrouped", q0.ID)
+			break
 		}
 		q := q0.Clone() // translation mutates the query
 		est, err := s.Estimate(q)
 		if err != nil {
-			return nil, fmt.Errorf("engine: estimating query %d: %w", q.ID, err)
+			submitErr = fmt.Errorf("engine: estimating query %d: %w", q.ID, err)
+			break
 		}
 		mu.Lock()
 		d, err := s.scheduler.Submit(nowS(), est)
 		mu.Unlock()
 		if err != nil {
-			return nil, fmt.Errorf("engine: scheduling query %d: %w", q.ID, err)
+			submitErr = fmt.Errorf("engine: scheduling query %d: %w", q.ID, err)
+			break
 		}
 		wg.Add(1)
 		j := realJob{q: q, decision: d, est: est, started: time.Now(), slot: slot}
@@ -157,6 +164,9 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 	close(transCh)
 	for _, ch := range gpuCh {
 		close(ch)
+	}
+	if submitErr != nil {
+		return nil, submitErr
 	}
 
 	res.Elapsed = time.Since(start)

@@ -240,6 +240,7 @@ func (s *Scheduler) QueueClock(ref QueueRef) float64 {
 // time is compared with estimated processing time. The difference of these
 // two times [is] used to update the value T_Q of the queue". delta is
 // actual − estimated seconds; now clamps the clock.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
 func (s *Scheduler) Feedback(ref QueueRef, delta, now float64) {
 	if s.cfg.DisableFeedback {
 		return
@@ -308,6 +309,7 @@ func (s *Scheduler) responseGPU(i int, now float64, est Estimates) (transStart, 
 }
 
 // commitGPU updates the queue clocks for a GPU placement.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
 func (s *Scheduler) commitGPU(i int, d *Decision, est Estimates) {
 	if est.NeedsTranslation {
 		switch s.cfg.Translation {
@@ -323,6 +325,7 @@ func (s *Scheduler) commitGPU(i int, d *Decision, est Estimates) {
 }
 
 // commitCPU updates the CPU queue clock.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
 func (s *Scheduler) commitCPU(d *Decision) {
 	s.tqCPU = d.End
 	s.stats.ToCPU++
