@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-check test race bench repro repro-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-check test race bench bench-smoke repro repro-quick examples clean
 
 # Pre-merge checklist: `make all` runs build → vet → lint → test; run
 # `make race` as well before merging scheduler or simulator changes — the
@@ -40,6 +40,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark — catches bitrot in benchmark code
+# (compile errors, renamed kernels, broken fixtures) without paying for a
+# full measurement run. CI runs this; real numbers come from `make bench`
+# or `olapbench -experiment scan-kernels` (which refreshes BENCH_scan.json).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Regenerate every table and figure of the paper at full scale.
 repro:

@@ -15,7 +15,9 @@ func (c *Cube) Aggregate(box Box, workers int) (Agg, error) {
 	if err := box.validate(c.cards); err != nil {
 		return Agg{}, err
 	}
-	items := c.intersectingChunks(box)
+	sc := aggScratchPool.Get().(*aggScratch)
+	defer aggScratchPool.Put(sc)
+	items := c.intersectingChunks(box, sc)
 	if len(items) == 0 {
 		return Agg{}, nil
 	}
@@ -27,8 +29,8 @@ func (c *Cube) Aggregate(box Box, workers int) (Agg, error) {
 	}
 	if workers == 1 {
 		var acc Agg
-		for _, it := range items {
-			acc = acc.Merge(c.aggregateChunk(it))
+		for i := range items {
+			acc = acc.Merge(c.aggregateChunk(items[i]))
 		}
 		return acc, nil
 	}
@@ -71,22 +73,59 @@ type workItem struct {
 	whole    bool
 }
 
-// intersectingChunks enumerates chunks overlapping the box.
-func (c *Cube) intersectingChunks(box Box) []workItem {
+// aggScratch holds the per-aggregation working set: the work-item list,
+// one slab backing every item's local Box, and the odometer state. Every
+// Aggregate/AggregateGroups call used to allocate a fresh Box per
+// intersecting chunk; a paper-scale workload aggregates thousands of
+// chunks per query at millions of queries, so the steady-state enumeration
+// now draws everything from this pool and allocates nothing.
+type aggScratch struct {
+	items      []workItem
+	locals     []Range // slab: items[i].local = locals[i*n : (i+1)*n]
+	gFrom, gTo []int
+	gc         []int
+}
+
+var aggScratchPool = sync.Pool{New: func() any { return new(aggScratch) }}
+
+// grow returns s with length n, reusing capacity.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// intersectingChunks enumerates chunks overlapping the box into the
+// scratch buffers and returns the item list (valid until the scratch is
+// pooled again; callers must not retain it).
+func (c *Cube) intersectingChunks(box Box, sc *aggScratch) []workItem {
 	n := len(c.cards)
-	gFrom := make([]int, n)
-	gTo := make([]int, n)
+	sc.gFrom = grow(sc.gFrom, n)
+	sc.gTo = grow(sc.gTo, n)
+	sc.gc = grow(sc.gc, n)
+	gFrom, gTo, gc := sc.gFrom, sc.gTo, sc.gc
+	// The grid sub-box is known up front, so the locals slab can be sized
+	// exactly: no append ever reallocates it mid-enumeration (items alias
+	// into it, so a reallocation would orphan earlier boxes).
+	nChunks := 1
 	for d, r := range box {
 		gFrom[d] = int(r.From) / c.side
 		gTo[d] = int(r.To) / c.side
+		nChunks *= gTo[d] - gFrom[d] + 1
 	}
-	var items []workItem
-	gc := make([]int, n) // current chunk grid coords
+	if cap(sc.locals) < nChunks*n {
+		sc.locals = make([]Range, 0, nChunks*n)
+	}
+	sc.locals = sc.locals[:0]
+	sc.items = sc.items[:0]
 	copy(gc, gFrom)
 	for {
 		idx := 0
 		whole := true
-		local := make(Box, n)
+		off := len(sc.locals)
+		sc.locals = sc.locals[:off+n]
+		local := Box(sc.locals[off : off+n : off+n])
 		for d := 0; d < n; d++ {
 			idx = idx*c.grid[d] + gc[d]
 			chunkLo := gc[d] * c.side
@@ -109,7 +148,9 @@ func (c *Cube) intersectingChunks(box Box) []workItem {
 			local[d] = Range{From: uint32(lo), To: uint32(hi)}
 		}
 		if c.chunks[idx] != nil {
-			items = append(items, workItem{chunkIdx: idx, local: local, whole: whole})
+			sc.items = append(sc.items, workItem{chunkIdx: idx, local: local, whole: whole})
+		} else {
+			sc.locals = sc.locals[:off] // chunk empty: hand the slab space back
 		}
 		// Odometer increment over [gFrom, gTo].
 		d := n - 1
@@ -125,7 +166,7 @@ func (c *Cube) intersectingChunks(box Box) []workItem {
 			break
 		}
 	}
-	return items
+	return sc.items
 }
 
 // aggregateChunk folds the overlap region of one chunk.
@@ -137,12 +178,12 @@ func (c *Cube) aggregateChunk(it workItem) Agg {
 	}
 	n := len(c.cards)
 	if !ch.isDense() {
-		// Compressed chunk. Entirely-contained chunks fold every entry; a
-		// partial overlap decodes each offset and tests membership.
+		// Compressed chunk. Entirely-contained chunks fold every entry —
+		// the cells array stores filled cells only, so the full-run kernel
+		// applies with no occupancy test. A partial overlap decodes each
+		// offset and tests membership.
 		if it.whole {
-			for _, cell := range ch.cells {
-				acc.fold(cell)
-			}
+			acc.foldRunFull(ch.cells)
 			return acc
 		}
 		for k, off := range ch.offsets {
@@ -164,12 +205,30 @@ func (c *Cube) aggregateChunk(it workItem) Agg {
 		return acc
 	}
 
-	// Dense chunk: stream contiguous runs along the last dimension.
+	// Dense chunk: stream contiguous runs along the last dimension. When
+	// occupancy metadata says every cell is filled, the per-cell
+	// Count != 0 test drops out of the run kernel entirely.
+	full := ch.filled == len(ch.dense)
+	if it.whole {
+		if full {
+			acc.foldRunFull(ch.dense)
+		} else {
+			acc.foldRun(ch.dense)
+		}
+		return acc
+	}
 	last := n - 1
 	runFrom := int(it.local[last].From)
 	runLen := int(it.local[last].To) - runFrom + 1
-	// Odometer over the outer dimensions.
-	outer := make([]int, last)
+	// Odometer over the outer dimensions. The fixed backing array keeps
+	// the odometer on the stack for every realistic dimensionality.
+	var outerBuf [8]int
+	outer := outerBuf[:0]
+	if last > len(outerBuf) {
+		outer = make([]int, last)
+	} else {
+		outer = outerBuf[:last]
+	}
 	for d := 0; d < last; d++ {
 		outer[d] = int(it.local[d].From)
 	}
@@ -180,10 +239,10 @@ func (c *Cube) aggregateChunk(it workItem) Agg {
 		}
 		base = base*c.side + runFrom
 		run := ch.dense[base : base+runLen]
-		for i := range run {
-			if run[i].Count != 0 {
-				acc.fold(run[i])
-			}
+		if full {
+			acc.foldRunFull(run)
+		} else {
+			acc.foldRun(run)
 		}
 		if last == 0 {
 			break

@@ -37,7 +37,9 @@ func (c *Cube) AggregateGroups(box Box, specs []GroupSpec, workers int) (map[tab
 			return nil, fmt.Errorf("cube: %d groups in dimension %d exceeds 65536", groups, sp.Dim)
 		}
 	}
-	items := c.intersectingChunks(box)
+	sc := aggScratchPool.Get().(*aggScratch)
+	defer aggScratchPool.Put(sc)
+	items := c.intersectingChunks(box, sc)
 	if len(items) == 0 {
 		return map[table.GroupKey]Agg{}, nil
 	}

@@ -1,0 +1,5 @@
+//go:build race
+
+package cube
+
+func init() { raceEnabled = true }

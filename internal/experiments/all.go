@@ -29,6 +29,7 @@ func Registry() map[string]Runner {
 		"ablation-globaldict":  AblationGlobalDict,
 		"ablation-layout":      AblationPartitionLayout,
 		"batch-heuristics":     BatchHeuristics,
+		"scan-kernels":         ScanKernels,
 	}
 }
 
@@ -38,6 +39,7 @@ var order = []string{
 	"fig3", "fig4", "fig5", "fig8", "fig9",
 	"ablation-placement", "ablation-translation", "ablation-feedback",
 	"ablation-globaldict", "ablation-layout", "batch-heuristics",
+	"scan-kernels",
 }
 
 // IDs returns all experiment IDs in presentation order.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -263,6 +265,49 @@ func TestBatchHeuristicsShape(t *testing.T) {
 	minmin := parseCell(1, 2)
 	if minmin > online*1.05 {
 		t.Fatalf("min-min mean completion %v worse than on-line %v", minmin, online)
+	}
+}
+
+func TestScanKernelsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel timing sweep in -short mode")
+	}
+	// The runner drops BENCH_scan.json in the working directory; run it
+	// from a scratch dir so the package tree stays clean.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	tbl, err := ScanKernels(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	buf, err := os.ReadFile(scanKernelsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report scanKernelsReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != len(tbl.Rows) {
+		t.Fatalf("report has %d results, table %d rows", len(report.Results), len(tbl.Rows))
+	}
+	for _, r := range report.Results {
+		if r.ReferenceNs <= 0 || r.VectorizedNs <= 0 {
+			t.Fatalf("case %q has non-positive timings: %+v", r.Case, r)
+		}
 	}
 }
 

@@ -8,13 +8,19 @@ import (
 )
 
 // ExecuteGroup runs a grouped query on this partition with the same
-// pipeline as Execute: a parallel table scan over row stripes builds
-// per-SM hash tables keyed by the packed group key, a parallel reduction
-// merges them, and the finalised per-group rows return sorted by key.
+// pipeline as Execute: the request binds once, a parallel table scan over
+// row stripes builds per-SM hash tables keyed by the packed group key (one
+// table per SM, accumulated across every stripe it drains — not one per
+// stripe), a parallel reduction merges them, and the finalised per-group
+// rows return sorted by key.
 func (p *Partition) ExecuteGroup(req table.GroupScanRequest) ([]table.GroupRow, error) {
 	ft := p.dev.ft
 	if ft == nil {
 		return nil, fmt.Errorf("gpusim: no table loaded")
+	}
+	plan, err := table.BindGroupScan(ft, req)
+	if err != nil {
+		return nil, err
 	}
 	rows := ft.Rows()
 	stripes := p.sms * StripesPerSM
@@ -22,7 +28,7 @@ func (p *Partition) ExecuteGroup(req table.GroupScanRequest) ([]table.GroupRow, 
 		stripes = rows
 	}
 	if stripes <= 1 {
-		g, err := table.GroupScanRange(ft, req, 0, rows)
+		g, err := plan.RangeInto(0, rows, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -64,12 +70,12 @@ func (p *Partition) ExecuteGroup(req table.GroupScanRequest) ([]table.GroupRow, 
 				if lo >= hi {
 					continue
 				}
-				part, err := table.GroupScanRange(ft, req, lo, hi)
+				part, err := plan.RangeInto(lo, hi, acc)
 				if err != nil {
 					errs[sm] = err
 					return
 				}
-				acc = table.MergeGroups(req.Op, acc, part)
+				acc = part
 			}
 			partials[sm] = acc
 		}(sm)

@@ -45,20 +45,27 @@ func (p *Partition) EstimateSeconds(cols, totalCols int) (float64, error) {
 
 // Execute runs the paper's GPU query pipeline on this partition:
 //
+//	step 1 — bind: the request is validated and bound against the table
+//	         exactly once (predicates resolved to columns and ordered by
+//	         estimated selectivity), so no stripe kernel re-validates;
 //	step 2 — parallel table scan: the row space is cut into
 //	         SMs×StripesPerSM stripes; one goroutine per SM drains
-//	         stripes from a shared index, filtering and accumulating
-//	         thread-local intermediate values;
+//	         stripes from a shared index, running the vectorized batch
+//	         kernel and accumulating thread-local intermediate values;
 //	step 3 — parallel reduction: per-SM partials merge pairwise;
 //	step 4 — final aggregation: the finalised aggregate is returned to
 //	         the caller (the CPU side).
 //
-// Step 1 (CPU preprocessing: query decomposition and text translation)
-// happens before Execute is called.
+// CPU preprocessing (query decomposition and text translation) happens
+// before Execute is called.
 func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 	ft := p.dev.ft
 	if ft == nil {
 		return table.ScanResult{}, fmt.Errorf("gpusim: no table loaded")
+	}
+	plan, err := table.BindScan(ft, req)
+	if err != nil {
+		return table.ScanResult{}, err
 	}
 	rows := ft.Rows()
 	stripes := p.sms * StripesPerSM
@@ -66,7 +73,7 @@ func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 		stripes = rows
 	}
 	if stripes <= 1 {
-		res, err := table.ScanRange(ft, req, 0, rows)
+		res, err := plan.Range(0, rows)
 		if err != nil {
 			return table.ScanResult{}, err
 		}
@@ -108,7 +115,7 @@ func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 				if lo >= hi {
 					continue
 				}
-				part, err := table.ScanRange(ft, req, lo, hi)
+				part, err := plan.Range(lo, hi)
 				if err != nil {
 					errs[sm] = err
 					return

@@ -1,0 +1,200 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A GroupScanPlan is a GroupScanRequest bound to one table: predicates
+// validated, resolved and selectivity-ordered exactly as in ScanPlan,
+// plus the group-by code columns resolved once. The vectorized RangeInto
+// accumulates straight into a caller-owned Groups map, so a simulated SM
+// draining many stripes builds one hash table instead of allocating and
+// merging one per stripe.
+type GroupScanPlan struct {
+	op    AggOp
+	rows  int
+	meas  []float64
+	preds []boundPred
+	never bool
+	gcols [][]uint32
+}
+
+// Op returns the plan's aggregation op.
+func (pl *GroupScanPlan) Op() AggOp { return pl.op }
+
+// Rows returns the number of rows of the bound table.
+func (pl *GroupScanPlan) Rows() int { return pl.rows }
+
+// GroupCols returns the number of grouping columns.
+func (pl *GroupScanPlan) GroupCols() int { return len(pl.gcols) }
+
+// validateGroupCol bounds-checks one grouping column and its 16-bit key
+// budget.
+func validateGroupCol(t *FactTable, g GroupCol) ([]uint32, error) {
+	if g.Text {
+		if g.TextIndex < 0 || g.TextIndex >= len(t.texts) {
+			return nil, fmt.Errorf("table: group text column %d out of range", g.TextIndex)
+		}
+		if d := t.schema.Texts[g.TextIndex]; d.Name != "" {
+			// Grouping by huge dictionaries still packs into 16 bits.
+			if dd, ok := t.dicts.Get(d.Name); ok && dd.Len() > 0xFFFF {
+				return nil, fmt.Errorf("table: text column %q has %d codes; grouping supports <= 65536", d.Name, dd.Len())
+			}
+		}
+		return t.texts[g.TextIndex], nil
+	}
+	if g.Dim < 0 || g.Dim >= len(t.dimLevels) || g.Level < 0 || g.Level >= len(t.dimLevels[g.Dim]) {
+		return nil, fmt.Errorf("table: group column (%d,%d) out of range", g.Dim, g.Level)
+	}
+	if t.schema.LevelCardinality(g.Dim, g.Level) > 0x10000 {
+		return nil, fmt.Errorf("table: group level cardinality %d exceeds 65536",
+			t.schema.LevelCardinality(g.Dim, g.Level))
+	}
+	return t.dimLevels[g.Dim][g.Level], nil
+}
+
+// BindGroupScan validates the grouped request against the table once and
+// returns a reusable plan, safe for concurrent RangeInto calls on
+// disjoint destination maps.
+func BindGroupScan(t *FactTable, req GroupScanRequest) (*GroupScanPlan, error) {
+	if len(req.GroupBy) == 0 {
+		return nil, fmt.Errorf("table: grouped scan needs at least one group column")
+	}
+	if len(req.GroupBy) > MaxGroupCols {
+		return nil, fmt.Errorf("table: at most %d group columns (got %d)", MaxGroupCols, len(req.GroupBy))
+	}
+	pl := &GroupScanPlan{op: req.Op, rows: t.rows}
+	if req.Op != AggCount {
+		if req.Measure < 0 || req.Measure >= len(t.measures) {
+			return nil, fmt.Errorf("table: measure %d out of range", req.Measure)
+		}
+		pl.meas = t.measures[req.Measure]
+	}
+	pl.preds = make([]boundPred, 0, len(req.Predicates))
+	for i := range req.Predicates {
+		p := &req.Predicates[i]
+		if err := validatePred(t, p); err != nil {
+			return nil, err
+		}
+		bp := bindPred(t, p)
+		if bp.from > bp.to && len(bp.or) == 0 {
+			pl.never = true
+		}
+		pl.preds = append(pl.preds, bp)
+	}
+	sort.SliceStable(pl.preds, func(i, j int) bool { return pl.preds[i].sel < pl.preds[j].sel })
+	pl.gcols = make([][]uint32, len(req.GroupBy))
+	for i, g := range req.GroupBy {
+		col, err := validateGroupCol(t, g)
+		if err != nil {
+			return nil, err
+		}
+		pl.gcols[i] = col
+	}
+	return pl, nil
+}
+
+// key packs the group coordinates of row r.
+func (pl *GroupScanPlan) key(r int) GroupKey {
+	var k GroupKey
+	for _, gc := range pl.gcols {
+		k = k<<16 | GroupKey(gc[r]&0xFFFF)
+	}
+	return k
+}
+
+// RangeInto runs the vectorized grouped kernel over rows [lo, hi),
+// accumulating into dst (allocated when nil) and returning it. One call
+// with a nil dst is bit-identical to GroupScanRange over the same stripe;
+// accumulating consecutive stripes into one dst is bit-identical to a
+// single GroupScanRange over their union (continuous accumulation rounds
+// like one long scan, not like MergeGroups over partial sums — which is
+// the point: a simulated SM drains many stripes into one hash table).
+func (pl *GroupScanPlan) RangeInto(lo, hi int, dst Groups) (Groups, error) {
+	if lo < 0 || hi > pl.rows || lo > hi {
+		return dst, fmt.Errorf("table: scan range [%d,%d) outside [0,%d)", lo, hi, pl.rows)
+	}
+	if dst == nil {
+		dst = make(Groups)
+	}
+	if pl.never {
+		return dst, nil
+	}
+	sc := scanScratchPool.Get().(*scanScratch)
+	sel := sc.sel
+	for base := lo; base < hi; base += BatchSize {
+		n := hi - base
+		if n > BatchSize {
+			n = BatchSize
+		}
+		k := n
+		if len(pl.preds) > 0 {
+			k = pl.preds[0].seed(base, n, sel)
+			for pi := 1; pi < len(pl.preds) && k > 0; pi++ {
+				k = pl.preds[pi].refine(base, sel[:k])
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				sel[i] = int32(i)
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		// One loop per op over the surviving rows; the op switch runs
+		// once per batch, not once per row.
+		switch pl.op {
+		case AggSum, AggAvg:
+			for _, i := range sel[:k] {
+				r := base + int(i)
+				key := pl.key(r)
+				acc := dst[key]
+				acc.Rows++
+				acc.Value += pl.meas[r]
+				dst[key] = acc
+			}
+		case AggCount:
+			for _, i := range sel[:k] {
+				key := pl.key(base + int(i))
+				acc := dst[key]
+				acc.Rows++
+				dst[key] = acc
+			}
+		case AggMin:
+			for _, i := range sel[:k] {
+				r := base + int(i)
+				key := pl.key(r)
+				acc := dst[key]
+				if acc.Rows == 0 || pl.meas[r] < acc.Value {
+					acc.Value = pl.meas[r]
+				}
+				acc.Rows++
+				dst[key] = acc
+			}
+		case AggMax:
+			for _, i := range sel[:k] {
+				r := base + int(i)
+				key := pl.key(r)
+				acc := dst[key]
+				if acc.Rows == 0 || pl.meas[r] > acc.Value {
+					acc.Value = pl.meas[r]
+				}
+				acc.Rows++
+				dst[key] = acc
+			}
+		}
+	}
+	scanScratchPool.Put(sc)
+	return dst, nil
+}
+
+// GroupScan runs the grouped plan over the whole table and finalises —
+// the vectorized counterpart of the package-level GroupScan.
+func (pl *GroupScanPlan) GroupScan() ([]GroupRow, error) {
+	g, err := pl.RangeInto(0, pl.rows, nil)
+	if err != nil {
+		return nil, err
+	}
+	return FinalizeGroups(pl.op, g, len(pl.gcols)), nil
+}

@@ -82,39 +82,19 @@ func GroupScanRange(t *FactTable, req GroupScanRequest, lo, hi int) (Groups, err
 		}
 	}
 	pcols := make([][]uint32, len(req.Predicates))
-	for i, p := range req.Predicates {
-		if p.Text {
-			if p.TextIndex < 0 || p.TextIndex >= len(t.texts) {
-				return nil, fmt.Errorf("table: text column %d out of range", p.TextIndex)
-			}
-		} else if p.Dim < 0 || p.Dim >= len(t.dimLevels) || p.Level < 0 || p.Level >= len(t.dimLevels[p.Dim]) {
-			return nil, fmt.Errorf("table: predicate column (%d,%d) out of range", p.Dim, p.Level)
+	for i := range req.Predicates {
+		if err := validatePred(t, &req.Predicates[i]); err != nil {
+			return nil, err
 		}
-		pcols[i] = predCol(t, p)
+		pcols[i] = predCol(t, req.Predicates[i])
 	}
 	gcols := make([][]uint32, len(req.GroupBy))
 	for i, g := range req.GroupBy {
-		if g.Text {
-			if g.TextIndex < 0 || g.TextIndex >= len(t.texts) {
-				return nil, fmt.Errorf("table: group text column %d out of range", g.TextIndex)
-			}
-			gcols[i] = t.texts[g.TextIndex]
-			if d := t.schema.Texts[g.TextIndex]; d.Name != "" {
-				// Grouping by huge dictionaries still packs into 16 bits.
-				if dd, ok := t.dicts.Get(d.Name); ok && dd.Len() > 0xFFFF {
-					return nil, fmt.Errorf("table: text column %q has %d codes; grouping supports <= 65536", d.Name, dd.Len())
-				}
-			}
-			continue
+		col, err := validateGroupCol(t, g)
+		if err != nil {
+			return nil, err
 		}
-		if g.Dim < 0 || g.Dim >= len(t.dimLevels) || g.Level < 0 || g.Level >= len(t.dimLevels[g.Dim]) {
-			return nil, fmt.Errorf("table: group column (%d,%d) out of range", g.Dim, g.Level)
-		}
-		if t.schema.LevelCardinality(g.Dim, g.Level) > 0x10000 {
-			return nil, fmt.Errorf("table: group level cardinality %d exceeds 65536",
-				t.schema.LevelCardinality(g.Dim, g.Level))
-		}
-		gcols[i] = t.dimLevels[g.Dim][g.Level]
+		gcols[i] = col
 	}
 	var meas []float64
 	if req.Op != AggCount {

@@ -1,0 +1,205 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks comparing the row-at-a-time reference kernel (ScanRange)
+// against the vectorized batch kernel ((*ScanPlan).Range) — the numbers
+// behind the "Vectorized execution" section of DESIGN.md and the
+// BENCH_scan.json baseline. The acceptance bar for this layer is the
+// rows=10M/preds=3/sel=10pct pair: vectorized must run >= 1.5x faster
+// than reference with 0 allocs/op.
+
+// benchCard is the per-column cardinality of the benchmark schema; with
+// uniform codes, a predicate accepting w of benchCard codes has
+// selectivity w/benchCard.
+const benchCard = 100
+
+func benchSchema() Schema {
+	return Schema{
+		Dimensions: []DimensionSpec{
+			{Name: "d0", Levels: []LevelSpec{{Name: "l0", Cardinality: benchCard}}},
+			{Name: "d1", Levels: []LevelSpec{{Name: "l1", Cardinality: benchCard}}},
+			{Name: "d2", Levels: []LevelSpec{{Name: "l2", Cardinality: benchCard}}},
+		},
+		Measures: []MeasureSpec{{Name: "m"}},
+	}
+}
+
+// benchTables caches generated tables across sub-benchmarks (a 10M-row
+// table takes seconds to build; the scan under test takes milliseconds).
+var benchTables = map[int]*FactTable{}
+
+func benchTable(b *testing.B, rows int) *FactTable {
+	b.Helper()
+	if ft, ok := benchTables[rows]; ok {
+		return ft
+	}
+	ft, err := Generate(GenSpec{Schema: benchSchema(), Rows: rows, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTables[rows] = ft
+	return ft
+}
+
+// predsForSelectivity builds n predicates, each accepting `width` of the
+// benchCard codes on a distinct column.
+func predsForSelectivity(n int, width uint32) []RangePredicate {
+	out := make([]RangePredicate, n)
+	for i := range out {
+		out[i] = RangePredicate{Dim: i, Level: 0, From: 0, To: width - 1}
+	}
+	return out
+}
+
+func runReference(b *testing.B, ft *FactTable, req ScanRequest) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScanRange(ft, req, 0, ft.Rows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(ft.Rows()) * 4) // first predicate column traffic
+}
+
+func runVectorized(b *testing.B, ft *FactTable, req ScanRequest) {
+	b.Helper()
+	plan, err := BindScan(ft, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Range(0, ft.Rows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(ft.Rows()) * 4)
+}
+
+// BenchmarkScanKernels is the kernel comparison matrix. The headline pair
+// (acceptance criterion) is rows=10M/preds=3/sel=10pct.
+func BenchmarkScanKernels(b *testing.B) {
+	// Headline: 10M rows, 3 predicates, ~10% combined selectivity
+	// (0.46^3 ≈ 0.097), sum aggregation.
+	b.Run("rows=10M/preds=3/sel=10pct/kernel=reference", func(b *testing.B) {
+		ft := benchTable(b, 10_000_000)
+		runReference(b, ft, ScanRequest{Op: AggSum, Measure: 0, Predicates: predsForSelectivity(3, 46)})
+	})
+	b.Run("rows=10M/preds=3/sel=10pct/kernel=vectorized", func(b *testing.B) {
+		ft := benchTable(b, 10_000_000)
+		runVectorized(b, ft, ScanRequest{Op: AggSum, Measure: 0, Predicates: predsForSelectivity(3, 46)})
+	})
+
+	// Per-op comparison at 1M rows, one ~10% predicate.
+	ops := []AggOp{AggSum, AggCount, AggMin, AggMax, AggAvg}
+	for _, op := range ops {
+		op := op
+		req := ScanRequest{Op: op, Measure: 0, Predicates: predsForSelectivity(1, 10)}
+		b.Run(fmt.Sprintf("rows=1M/op=%s/kernel=reference", op), func(b *testing.B) {
+			runReference(b, benchTable(b, 1_000_000), req)
+		})
+		b.Run(fmt.Sprintf("rows=1M/op=%s/kernel=vectorized", op), func(b *testing.B) {
+			runVectorized(b, benchTable(b, 1_000_000), req)
+		})
+	}
+
+	// Per-selectivity comparison at 1M rows, 3 predicates; widths are the
+	// per-predicate accepted codes of benchCard.
+	for _, w := range []uint32{5, 22, 46, 79, 100} {
+		w := w
+		pct := float64(w) / benchCard * 100
+		req := ScanRequest{Op: AggSum, Measure: 0, Predicates: predsForSelectivity(3, w)}
+		b.Run(fmt.Sprintf("rows=1M/predsel=%.0fpct/kernel=reference", pct), func(b *testing.B) {
+			runReference(b, benchTable(b, 1_000_000), req)
+		})
+		b.Run(fmt.Sprintf("rows=1M/predsel=%.0fpct/kernel=vectorized", pct), func(b *testing.B) {
+			runVectorized(b, benchTable(b, 1_000_000), req)
+		})
+	}
+
+	// Batch-size sweep: the speedup at each batch size (the BatchSize
+	// constant is the tuned point of this curve).
+	for _, batch := range []int{64, 256, 1024, 4096} {
+		batch := batch
+		req := ScanRequest{Op: AggSum, Measure: 0, Predicates: predsForSelectivity(3, 46)}
+		b.Run(fmt.Sprintf("rows=1M/batch=%d/kernel=vectorized", batch), func(b *testing.B) {
+			ft := benchTable(b, 1_000_000)
+			plan, err := BindScan(ft, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.rangeBatch(0, ft.Rows(), batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(ft.Rows()) * 4)
+		})
+	}
+
+	// Predicate shapes: Or-list and translated-text point-list kernels.
+	orPreds := []RangePredicate{{
+		Dim: 0, Level: 0, From: 10, To: 19,
+		Or: []CodeRange{{From: 40, To: 49}, {From: 70, To: 74}},
+	}}
+	pointPreds := []RangePredicate{{
+		Dim: 0, Level: 0, From: 7, To: 7,
+		Or: []CodeRange{{From: 21, To: 21}, {From: 56, To: 56}, {From: 83, To: 83}},
+	}}
+	for _, tc := range []struct {
+		name  string
+		preds []RangePredicate
+	}{{"or", orPreds}, {"points", pointPreds}} {
+		tc := tc
+		req := ScanRequest{Op: AggSum, Measure: 0, Predicates: tc.preds}
+		b.Run(fmt.Sprintf("rows=1M/shape=%s/kernel=reference", tc.name), func(b *testing.B) {
+			runReference(b, benchTable(b, 1_000_000), req)
+		})
+		b.Run(fmt.Sprintf("rows=1M/shape=%s/kernel=vectorized", tc.name), func(b *testing.B) {
+			runVectorized(b, benchTable(b, 1_000_000), req)
+		})
+	}
+}
+
+// BenchmarkGroupScanKernels compares the grouped kernels: reference
+// GroupScanRange (fresh map per stripe, merged) vs the bound plan's
+// RangeInto accumulating into one map.
+func BenchmarkGroupScanKernels(b *testing.B) {
+	req := GroupScanRequest{
+		ScanRequest: ScanRequest{Op: AggSum, Measure: 0, Predicates: predsForSelectivity(2, 46)},
+		GroupBy:     []GroupCol{{Dim: 2, Level: 0}},
+	}
+	b.Run("rows=1M/kernel=reference", func(b *testing.B) {
+		ft := benchTable(b, 1_000_000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := GroupScanRange(ft, req, 0, ft.Rows()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rows=1M/kernel=vectorized", func(b *testing.B) {
+		ft := benchTable(b, 1_000_000)
+		plan, err := BindGroupScan(ft, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.RangeInto(0, ft.Rows(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A ScanPlan is a ScanRequest bound to one table: every predicate is
+// validated once, its code column resolved to a concrete slice, and the
+// predicate list reordered by estimated selectivity (most selective
+// first), so that the per-stripe kernels the GPU simulator launches do no
+// validation, no column lookup and no re-ordering work at all. The
+// row-at-a-time ScanRange stays as the reference kernel; a plan's Range
+// is the vectorized production kernel and produces bit-identical results
+// (same row visit order, same float accumulation order).
+type ScanPlan struct {
+	op    AggOp
+	rows  int
+	meas  []float64 // nil for pure counts
+	preds []boundPred
+	// never is set when some predicate can match no row (inverted range
+	// with no Or intervals): the whole scan short-circuits to zero.
+	never bool
+}
+
+// predShape selects the monomorphic filter kernel for one predicate.
+type predShape int
+
+const (
+	// shapeRange is a single [From, To] interval.
+	shapeRange predShape = iota
+	// shapeOr is an interval plus a disjunctive Or-list of intervals.
+	shapeOr
+	// shapePoints is the translated-text IN-list shape: every accepted
+	// interval is a single code, so the kernel compares equality against
+	// a short code list instead of walking interval pairs.
+	shapePoints
+)
+
+// boundPred is one predicate of a plan: column resolved, shape chosen,
+// selectivity estimated.
+type boundPred struct {
+	col      []uint32
+	from, to uint32
+	or       []CodeRange
+	points   []uint32 // shapePoints: the accepted codes
+	shape    predShape
+	sel      float64 // estimated fraction of rows passing, for ordering
+}
+
+// Op returns the plan's aggregation op (callers need it for Merge and
+// Finalize of partial results).
+func (pl *ScanPlan) Op() AggOp { return pl.op }
+
+// Rows returns the number of rows of the bound table.
+func (pl *ScanPlan) Rows() int { return pl.rows }
+
+// validatePred bounds-checks the column a predicate addresses.
+func validatePred(t *FactTable, p *RangePredicate) error {
+	if p.Text {
+		if p.TextIndex < 0 || p.TextIndex >= len(t.texts) {
+			return fmt.Errorf("table: text column %d out of range", p.TextIndex)
+		}
+		return nil
+	}
+	if p.Dim < 0 || p.Dim >= len(t.dimLevels) {
+		return fmt.Errorf("table: dimension %d out of range", p.Dim)
+	}
+	if p.Level < 0 || p.Level >= len(t.dimLevels[p.Dim]) {
+		return fmt.Errorf("table: level %d out of range for dimension %d", p.Level, p.Dim)
+	}
+	return nil
+}
+
+// predCardinality returns the number of distinct codes the predicate's
+// column can carry, or 0 when unknown (missing dictionary).
+func predCardinality(t *FactTable, p *RangePredicate) int {
+	if !p.Text {
+		return t.schema.LevelCardinality(p.Dim, p.Level)
+	}
+	if t.dicts == nil || p.TextIndex >= len(t.schema.Texts) {
+		return 0
+	}
+	return t.dicts.DictLen(t.schema.Texts[p.TextIndex].Name)
+}
+
+// intervalWidth counts the codes of [from, to] that fall inside [0, card).
+func intervalWidth(from, to uint32, card int) int64 {
+	if to < from {
+		return 0
+	}
+	hi := int64(to)
+	if card > 0 && hi > int64(card)-1 {
+		hi = int64(card) - 1
+	}
+	if lo := int64(from); lo <= hi {
+		return hi - lo + 1
+	}
+	return 0
+}
+
+// estimateSelectivity estimates the fraction of rows a predicate accepts,
+// assuming codes distribute uniformly over the column's cardinality (true
+// for the synthetic generator, close enough for ordering real columns).
+// Overlapping Or intervals are counted twice — this is an ordering
+// heuristic, not an answer. Unknown cardinalities estimate 1 (filter
+// last).
+func estimateSelectivity(t *FactTable, p *RangePredicate) float64 {
+	card := predCardinality(t, p)
+	if card <= 0 {
+		return 1
+	}
+	w := intervalWidth(p.From, p.To, card)
+	for _, r := range p.Or {
+		w += intervalWidth(r.From, r.To, card)
+	}
+	s := float64(w) / float64(card)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// bindPred resolves one predicate against the table and picks its kernel
+// shape.
+func bindPred(t *FactTable, p *RangePredicate) boundPred {
+	bp := boundPred{
+		col:  predCol(t, *p),
+		from: p.From,
+		to:   p.To,
+		or:   p.Or,
+		sel:  estimateSelectivity(t, p),
+	}
+	switch {
+	case len(p.Or) == 0:
+		bp.shape = shapeRange
+	default:
+		// The translated IN-list shape: the base interval and every Or
+		// interval are single codes. Collect them into one flat list.
+		points := true
+		if p.From != p.To {
+			points = false
+		}
+		for _, r := range p.Or {
+			if r.From != r.To {
+				points = false
+				break
+			}
+		}
+		if points {
+			bp.shape = shapePoints
+			bp.points = make([]uint32, 0, len(p.Or)+1)
+			bp.points = append(bp.points, p.From)
+			for _, r := range p.Or {
+				bp.points = append(bp.points, r.From)
+			}
+		} else {
+			bp.shape = shapeOr
+		}
+	}
+	return bp
+}
+
+// BindScan validates the request against the table once and returns a
+// reusable plan. The plan is immutable after binding and safe for
+// concurrent Range calls (the paper's per-SM stripe kernels all share
+// one plan).
+func BindScan(t *FactTable, req ScanRequest) (*ScanPlan, error) {
+	pl := &ScanPlan{op: req.Op, rows: t.rows}
+	if req.Op != AggCount {
+		if req.Measure < 0 || req.Measure >= len(t.measures) {
+			return nil, fmt.Errorf("table: measure %d out of range", req.Measure)
+		}
+		pl.meas = t.measures[req.Measure]
+	}
+	pl.preds = make([]boundPred, 0, len(req.Predicates))
+	for i := range req.Predicates {
+		p := &req.Predicates[i]
+		if err := validatePred(t, p); err != nil {
+			return nil, err
+		}
+		bp := bindPred(t, p)
+		if bp.from > bp.to && len(bp.or) == 0 {
+			// Inverted interval with no alternatives: nothing can pass.
+			pl.never = true
+		}
+		pl.preds = append(pl.preds, bp)
+	}
+	// Most selective predicate first: the cheapest predicate to seed the
+	// selection vector is the one that keeps it shortest for every later
+	// refinement pass. Stable, so equal estimates keep request order —
+	// binding the same request always yields the same plan.
+	sort.SliceStable(pl.preds, func(i, j int) bool { return pl.preds[i].sel < pl.preds[j].sel })
+	return pl, nil
+}

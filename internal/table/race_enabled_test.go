@@ -1,0 +1,5 @@
+//go:build race
+
+package table
+
+func init() { raceEnabled = true }

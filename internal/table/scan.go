@@ -100,8 +100,10 @@ func predCol(t *FactTable, p RangePredicate) []uint32 {
 }
 
 // ScanRange runs the request sequentially over rows [lo, hi) and returns a
-// partial result. It is the reference kernel: the GPU simulator's blocks
-// call it per stripe, and a full parallel reduction combines stripes.
+// partial result. It is the row-at-a-time reference kernel the vectorized
+// ScanPlan is proven against; hot callers (the GPU simulator's per-stripe
+// blocks) go through BindScan + (*ScanPlan).Range instead, which validates
+// once per request rather than once per stripe.
 func ScanRange(t *FactTable, req ScanRequest, lo, hi int) (ScanResult, error) {
 	if lo < 0 || hi > t.rows || lo > hi {
 		return ScanResult{}, fmt.Errorf("table: scan range [%d,%d) outside [0,%d)", lo, hi, t.rows)
@@ -112,20 +114,11 @@ func ScanRange(t *FactTable, req ScanRequest, lo, hi int) (ScanResult, error) {
 		}
 	}
 	cols := make([][]uint32, len(req.Predicates))
-	for i, p := range req.Predicates {
-		if p.Text {
-			if p.TextIndex < 0 || p.TextIndex >= len(t.texts) {
-				return ScanResult{}, fmt.Errorf("table: text column %d out of range", p.TextIndex)
-			}
-		} else {
-			if p.Dim < 0 || p.Dim >= len(t.dimLevels) {
-				return ScanResult{}, fmt.Errorf("table: dimension %d out of range", p.Dim)
-			}
-			if p.Level < 0 || p.Level >= len(t.dimLevels[p.Dim]) {
-				return ScanResult{}, fmt.Errorf("table: level %d out of range for dimension %d", p.Level, p.Dim)
-			}
+	for i := range req.Predicates {
+		if err := validatePred(t, &req.Predicates[i]); err != nil {
+			return ScanResult{}, err
 		}
-		cols[i] = predCol(t, p)
+		cols[i] = predCol(t, req.Predicates[i])
 	}
 	var meas []float64
 	if req.Op != AggCount {

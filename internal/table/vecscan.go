@@ -1,0 +1,299 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BatchSize is the number of rows a vectorized kernel processes per step.
+// 1024 rows keep the selection vector (4 KiB) and the touched slice of
+// each predicate column (4 KiB) resident in L1 while amortising the
+// per-batch dispatch over enough rows that the monomorphic inner loops
+// dominate.
+const BatchSize = 1024
+
+// maxBatchSize bounds the selection-vector capacity; rangeBatch clamps to
+// it so the batch-size microbenchmarks can sweep beyond BatchSize without
+// reallocating scratch.
+const maxBatchSize = 4096
+
+// scanScratch is the per-Range working set: one selection vector, reused
+// across batches. Pooled so the steady-state scan loop allocates nothing
+// per call — gpusim launches one Range per stripe per kernel, and the
+// paper's throughput tables run millions of them.
+type scanScratch struct {
+	sel []int32
+}
+
+var scanScratchPool = sync.Pool{
+	New: func() any { return &scanScratch{sel: make([]int32, maxBatchSize)} },
+}
+
+// --- filter kernels -------------------------------------------------------
+//
+// Each kernel is monomorphic over one predicate shape. A "seed" kernel
+// scans a whole batch and fills the selection vector with the in-batch
+// offsets of passing rows; a "refine" kernel compacts an existing
+// selection vector in place. Offsets are relative to the batch base so
+// the vector stays int32 regardless of table size.
+
+// seedRange assumes from <= to (BindScan short-circuits inverted ranges
+// via ScanPlan.never before any kernel runs), so the two comparisons fuse
+// into one unsigned subtract-compare. The selection vector is built
+// branch-free: the candidate offset is stored unconditionally and the
+// write cursor advances only on a match, so a mispredicted row costs a
+// dead store instead of a pipeline flush — the MonetDB/X100 idiom the
+// motivation cites.
+func seedRange(col []uint32, base, n int, from, to uint32, sel []int32) int {
+	k := 0
+	span := to - from
+	for i := 0; i < n; i++ {
+		sel[k] = int32(i)
+		if col[base+i]-from <= span {
+			k++
+		}
+	}
+	return k
+}
+
+func refineRange(col []uint32, base int, from, to uint32, sel []int32) int {
+	k := 0
+	span := to - from
+	for _, i := range sel {
+		sel[k] = i
+		if col[base+int(i)]-from <= span {
+			k++
+		}
+	}
+	return k
+}
+
+func orMatches(v, from, to uint32, or []CodeRange) bool {
+	if v >= from && v <= to {
+		return true
+	}
+	for _, r := range or {
+		if v >= r.From && v <= r.To {
+			return true
+		}
+	}
+	return false
+}
+
+func seedOr(col []uint32, base, n int, from, to uint32, or []CodeRange, sel []int32) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		sel[k] = int32(i)
+		if orMatches(col[base+i], from, to, or) {
+			k++
+		}
+	}
+	return k
+}
+
+func refineOr(col []uint32, base int, from, to uint32, or []CodeRange, sel []int32) int {
+	k := 0
+	for _, i := range sel {
+		sel[k] = i
+		if orMatches(col[base+int(i)], from, to, or) {
+			k++
+		}
+	}
+	return k
+}
+
+func pointMatches(v uint32, points []uint32) bool {
+	for _, p := range points {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+func seedPoints(col []uint32, base, n int, points []uint32, sel []int32) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		sel[k] = int32(i)
+		if pointMatches(col[base+i], points) {
+			k++
+		}
+	}
+	return k
+}
+
+func refinePoints(col []uint32, base int, points []uint32, sel []int32) int {
+	k := 0
+	for _, i := range sel {
+		sel[k] = i
+		if pointMatches(col[base+int(i)], points) {
+			k++
+		}
+	}
+	return k
+}
+
+// seed dispatches the shape once per batch (not once per row).
+func (p *boundPred) seed(base, n int, sel []int32) int {
+	switch p.shape {
+	case shapePoints:
+		return seedPoints(p.col, base, n, p.points, sel)
+	case shapeOr:
+		return seedOr(p.col, base, n, p.from, p.to, p.or, sel)
+	default:
+		return seedRange(p.col, base, n, p.from, p.to, sel)
+	}
+}
+
+// refine dispatches the shape once per batch over the surviving rows.
+func (p *boundPred) refine(base int, sel []int32) int {
+	switch p.shape {
+	case shapePoints:
+		return refinePoints(p.col, base, p.points, sel)
+	case shapeOr:
+		return refineOr(p.col, base, p.from, p.to, p.or, sel)
+	default:
+		return refineRange(p.col, base, p.from, p.to, sel)
+	}
+}
+
+// --- aggregation kernels --------------------------------------------------
+//
+// One loop per AggOp, over either a selection vector or a dense run (the
+// no-predicate case). Accumulation order matches ScanRange exactly — row
+// ascending, one float add per matching row — so results are bit-identical
+// to the reference kernel, not merely close.
+
+func sumSel(acc float64, meas []float64, base int, sel []int32) float64 {
+	for _, i := range sel {
+		acc += meas[base+int(i)]
+	}
+	return acc
+}
+
+func minSel(acc float64, first bool, meas []float64, base int, sel []int32) float64 {
+	for _, i := range sel {
+		v := meas[base+int(i)]
+		if first || v < acc {
+			acc = v
+		}
+		first = false
+	}
+	return acc
+}
+
+func maxSel(acc float64, first bool, meas []float64, base int, sel []int32) float64 {
+	for _, i := range sel {
+		v := meas[base+int(i)]
+		if first || v > acc {
+			acc = v
+		}
+		first = false
+	}
+	return acc
+}
+
+func sumRun(acc float64, run []float64) float64 {
+	for _, v := range run {
+		acc += v
+	}
+	return acc
+}
+
+func minRun(acc float64, first bool, run []float64) float64 {
+	for _, v := range run {
+		if first || v < acc {
+			acc = v
+		}
+		first = false
+	}
+	return acc
+}
+
+func maxRun(acc float64, first bool, run []float64) float64 {
+	for _, v := range run {
+		if first || v > acc {
+			acc = v
+		}
+		first = false
+	}
+	return acc
+}
+
+// Range runs the plan's vectorized kernel over rows [lo, hi) and returns
+// a partial result with the same pre-Finalize semantics as ScanRange.
+// Safe for concurrent use; allocates nothing in steady state.
+func (pl *ScanPlan) Range(lo, hi int) (ScanResult, error) {
+	return pl.rangeBatch(lo, hi, BatchSize)
+}
+
+// rangeBatch is Range with an explicit batch size (the microbenchmarks
+// sweep it; production callers always pass BatchSize).
+func (pl *ScanPlan) rangeBatch(lo, hi, batch int) (ScanResult, error) {
+	if lo < 0 || hi > pl.rows || lo > hi {
+		return ScanResult{}, fmt.Errorf("table: scan range [%d,%d) outside [0,%d)", lo, hi, pl.rows)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > maxBatchSize {
+		batch = maxBatchSize
+	}
+	if pl.never {
+		return ScanResult{}, nil
+	}
+	res := ScanResult{}
+	if len(pl.preds) == 0 {
+		// No filtration: aggregate dense runs directly, no selection
+		// vector needed.
+		res.Rows = int64(hi - lo)
+		switch pl.op {
+		case AggSum, AggAvg:
+			res.Value = sumRun(0, pl.meas[lo:hi])
+		case AggMin:
+			res.Value = minRun(0, true, pl.meas[lo:hi])
+		case AggMax:
+			res.Value = maxRun(0, true, pl.meas[lo:hi])
+		}
+		return res, nil
+	}
+
+	sc := scanScratchPool.Get().(*scanScratch)
+	sel := sc.sel
+	first := true
+	for base := lo; base < hi; base += batch {
+		n := hi - base
+		if n > batch {
+			n = batch
+		}
+		k := pl.preds[0].seed(base, n, sel)
+		for pi := 1; pi < len(pl.preds) && k > 0; pi++ {
+			k = pl.preds[pi].refine(base, sel[:k])
+		}
+		if k == 0 {
+			continue
+		}
+		res.Rows += int64(k)
+		switch pl.op {
+		case AggSum, AggAvg:
+			res.Value = sumSel(res.Value, pl.meas, base, sel[:k])
+		case AggMin:
+			res.Value = minSel(res.Value, first, pl.meas, base, sel[:k])
+		case AggMax:
+			res.Value = maxSel(res.Value, first, pl.meas, base, sel[:k])
+		}
+		first = false
+	}
+	scanScratchPool.Put(sc)
+	return res, nil
+}
+
+// Scan executes the whole plan sequentially and finalises the result —
+// the vectorized counterpart of Scan.
+func (pl *ScanPlan) Scan() (ScanResult, error) {
+	res, err := pl.Range(0, pl.rows)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	return Finalize(pl.op, res), nil
+}
