@@ -43,10 +43,14 @@ bench:
 
 # One iteration of every benchmark — catches bitrot in benchmark code
 # (compile errors, renamed kernels, broken fixtures) without paying for a
-# full measurement run. CI runs this; real numbers come from `make bench`
-# or `olapbench -experiment scan-kernels` (which refreshes BENCH_scan.json).
+# full measurement run, plus a quick pass of the ingest throughput
+# experiment. CI runs this; real numbers come from `make bench` or
+# `olapbench -experiment scan-kernels` / `olapbench -experiment ingest`
+# (which refresh the committed BENCH_scan.json / BENCH_ingest.json
+# baselines at full scale).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+	$(GO) run ./cmd/olapbench -quick -experiment ingest
 
 # Regenerate every table and figure of the paper at full scale.
 repro:

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	olapcli -rows 100000
+//	olapcli -rows 100000 -live
 //	> SELECT sum(sales) WHERE time.month BETWEEN 0 AND 11
+//	> \ingest 3,17,5 | 9.5,1 | acme corp, metropolis
 //	> \schema
 //	> \stats
 //	> \quit
@@ -16,24 +17,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	olap "hybridolap"
+	"hybridolap/internal/table"
 )
 
 func main() {
 	var (
 		rows = flag.Int("rows", 100_000, "fact table rows")
 		seed = flag.Int64("seed", 1, "generation seed")
+		live = flag.Bool("live", false, "enable the streaming write path (\\ingest)")
+		wal  = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
 	)
 	flag.Parse()
 
 	fmt.Printf("building demo system (%d rows)...\n", *rows)
-	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed})
+	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "olapcli:", err)
 		os.Exit(1)
 	}
+	// Stops the compactor and flushes the append log on \quit or EOF.
+	defer db.Close()
 	fmt.Println("ready. \\help for commands.")
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -50,6 +57,8 @@ func main() {
 			printSchema(db)
 		case line == `\stats`:
 			printStats(db)
+		case strings.HasPrefix(line, `\ingest `):
+			runIngest(db, strings.TrimPrefix(line, `\ingest `))
 		case strings.HasPrefix(line, `\explain `):
 			ex, err := db.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -72,10 +81,49 @@ func printHelp() {
   text cond:       store_name = 'able bar #1'   |  customer_city BETWEEN 'a' AND 'b'
 commands:
   \schema        show dimensions, levels, measures and text columns
-  \stats         show scheduler statistics
+  \stats         show scheduler (and, when live, ingest) statistics
   \explain <q>   price and place a query without running it
+  \ingest <coords> | <measures> [| <texts>]
+                 append one row (needs -live or -wal), e.g.
+                 \ingest 3,17,5 | 9.5,1 | acme corp, metropolis
   \quit          exit
 `)
+}
+
+func runIngest(db *olap.DB, arg string) {
+	parts := strings.Split(arg, "|")
+	if len(parts) != 2 && len(parts) != 3 {
+		fmt.Println(`usage: \ingest <coords> | <measures> [| <texts>]`)
+		return
+	}
+	row := table.Row{}
+	for _, f := range strings.Split(parts[0], ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Println("error: bad coordinate:", err)
+			return
+		}
+		row.Coords = append(row.Coords, c)
+	}
+	for _, f := range strings.Split(parts[1], ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Println("error: bad measure:", err)
+			return
+		}
+		row.Measures = append(row.Measures, m)
+	}
+	if len(parts) == 3 {
+		for _, f := range strings.Split(parts[2], ",") {
+			row.Texts = append(row.Texts, strings.TrimSpace(f))
+		}
+	}
+	epoch, err := db.Ingest([]table.Row{row})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("1 row visible at epoch %d\n", epoch)
 }
 
 func printSchema(db *olap.DB) {
@@ -101,6 +149,11 @@ func printStats(db *olap.DB) {
 		st.Submitted, st.ToCPU, st.Translated, st.PredictedLate)
 	for i, n := range st.ToGPU {
 		fmt.Printf("  gpu[%d]: %d\n", i, n)
+	}
+	if db.System().Live() != nil {
+		ist := db.IngestStats()
+		fmt.Printf("ingest: epoch %d  rows %d  batches %d  delta-stripes %d  compactions %d  maintenance-jobs %d\n",
+			ist.Epoch, ist.Rows, ist.Batches, ist.DeltaStripes, ist.Compactions, st.MaintenanceJobs)
 	}
 }
 

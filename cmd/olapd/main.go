@@ -1,18 +1,23 @@
 // Command olapd serves the hybrid OLAP engine over HTTP.
 //
-//	olapd -addr :8080 -rows 100000
+//	olapd -addr :8080 -rows 100000 -wal /var/lib/olapd/ingest.wal
 //
 //	curl localhost:8080/schema
-//	curl -d '{"sql":"SELECT sum(sales) WHERE time.year = 1"}' localhost:8080/query
+//	curl -d '{"sql":"SELECT sum(sales) WHERE time.month BETWEEN 0 AND 11"}' localhost:8080/query
 //	curl -d '{"sql":"SELECT count(*) GROUP BY geo.region"}' localhost:8080/query
+//	curl -d '{"rows":[{"coords":[3,17,5],"measures":[9.5,1],"texts":["acme corp","metropolis"]}]}' localhost:8080/ingest
 //	curl localhost:8080/stats
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	olap "hybridolap"
 )
@@ -22,17 +27,48 @@ func main() {
 		addr = flag.String("addr", ":8080", "listen address")
 		rows = flag.Int("rows", 100_000, "fact table rows")
 		seed = flag.Int64("seed", 1, "generation seed")
+		live = flag.Bool("live", false, "enable the streaming write path (POST /ingest)")
+		wal  = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
 	)
 	flag.Parse()
 
 	log.Printf("olapd: building system (%d rows)...", *rows)
-	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed})
+	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal})
 	if err != nil {
 		log.Fatal("olapd: ", err)
 	}
-	mux := newMux(db)
-	log.Printf("olapd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatal(fmt.Errorf("olapd: %w", err))
+	srv := &http.Server{Addr: *addr, Handler: newMux(db)}
+
+	// SIGINT/SIGTERM start a graceful shutdown: stop accepting, let
+	// in-flight requests (including ingest) finish, then drain the store
+	// and flush the append log.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("olapd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal("olapd: ", err)
+	case <-ctx.Done():
 	}
+	log.Print("olapd: shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("olapd: http shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("olapd: serve: %v", err)
+	}
+	// Close stops the compactor, waits out in-flight ingest and flushes
+	// the WAL, so a restart replays every acknowledged batch.
+	if err := db.Close(); err != nil {
+		log.Printf("olapd: closing store: %v", err)
+	}
+	log.Print("olapd: bye")
 }

@@ -2,13 +2,20 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"time"
 
 	olap "hybridolap"
+	"hybridolap/internal/table"
 )
+
+// maxBodyBytes caps POST bodies: queries are small, and even a generous
+// ingest batch fits well under 8 MiB. Larger bodies get 413.
+const maxBodyBytes = 8 << 20
 
 // server wraps a DB with the HTTP API.
 type server struct {
@@ -19,9 +26,10 @@ type server struct {
 //
 //	GET  /healthz       liveness
 //	GET  /schema        dimensions, levels, measures, text columns
-//	GET  /stats         scheduler statistics
+//	GET  /stats         scheduler + ingest statistics
 //	POST /query         {"sql": "..."} -> scalar or grouped answer
 //	POST /explain       {"sql": "..."} -> estimates + hypothetical placement
+//	POST /ingest        {"rows": [...]} -> epoch the batch became visible in
 func newMux(db *olap.DB) *http.ServeMux {
 	s := &server{db: db}
 	mux := http.NewServeMux()
@@ -30,6 +38,7 @@ func newMux(db *olap.DB) *http.ServeMux {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	return mux
 }
 
@@ -38,11 +47,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; all that is left is making the failure visible.
+		log.Printf("olapd: encoding response: %v", err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a JSON POST body capped at maxBodyBytes, writing the
+// appropriate error response (413 on overflow) and reporting whether the
+// handler may proceed.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -84,23 +118,95 @@ func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+type ingestStats struct {
+	Epoch            uint64 `json:"epoch"`
+	Stripes          int    `json:"stripes"`
+	DeltaStripes     int    `json:"delta_stripes"`
+	Rows             int    `json:"rows"`
+	Batches          int64  `json:"batches"`
+	IngestedRows     int64  `json:"ingested_rows"`
+	ReplayedBatches  int64  `json:"replayed_batches"`
+	Compactions      int64  `json:"compactions"`
+	CompactedStripes int64  `json:"compacted_stripes"`
+	CompactedRows    int64  `json:"compacted_rows"`
+	WALRecords       int64  `json:"wal_records"`
+	WALBytes         int64  `json:"wal_bytes"`
+}
+
 type statsResponse struct {
-	Submitted     int64   `json:"submitted"`
-	ToCPU         int64   `json:"to_cpu"`
-	ToGPU         []int64 `json:"to_gpu"`
-	Translated    int64   `json:"translated"`
-	PredictedLate int64   `json:"predicted_late"`
+	Submitted       int64        `json:"submitted"`
+	ToCPU           int64        `json:"to_cpu"`
+	ToGPU           []int64      `json:"to_gpu"`
+	Translated      int64        `json:"translated"`
+	PredictedLate   int64        `json:"predicted_late"`
+	MaintenanceJobs int64        `json:"maintenance_jobs"`
+	Ingest          *ingestStats `json:"ingest,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.System().Scheduler().Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Submitted:     st.Submitted,
-		ToCPU:         st.ToCPU,
-		ToGPU:         st.ToGPU,
-		Translated:    st.Translated,
-		PredictedLate: st.PredictedLate,
-	})
+	resp := statsResponse{
+		Submitted:       st.Submitted,
+		ToCPU:           st.ToCPU,
+		ToGPU:           st.ToGPU,
+		Translated:      st.Translated,
+		PredictedLate:   st.PredictedLate,
+		MaintenanceJobs: st.MaintenanceJobs,
+	}
+	if s.db.System().Live() != nil {
+		ist := s.db.IngestStats()
+		resp.Ingest = &ingestStats{
+			Epoch:            ist.Epoch,
+			Stripes:          ist.Stripes,
+			DeltaStripes:     ist.DeltaStripes,
+			Rows:             ist.Rows,
+			Batches:          ist.Batches,
+			IngestedRows:     ist.IngestedRows,
+			ReplayedBatches:  ist.ReplayedBatches,
+			Compactions:      ist.Compactions,
+			CompactedStripes: ist.CompactedStripes,
+			CompactedRows:    ist.CompactedRows,
+			WALRecords:       ist.WALRecords,
+			WALBytes:         ist.WALBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type ingestRow struct {
+	Coords   []int     `json:"coords"`
+	Measures []float64 `json:"measures"`
+	Texts    []string  `json:"texts"`
+}
+
+type ingestRequest struct {
+	Rows []ingestRow `json:"rows"`
+}
+
+type ingestResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Rows  int    `json:"rows"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if s.db.System().Live() == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("server is not live (start with -live or -wal)"))
+		return
+	}
+	rows := make([]table.Row, len(req.Rows))
+	for i, rr := range req.Rows {
+		rows[i] = table.Row{Coords: rr.Coords, Measures: rr.Measures, Texts: rr.Texts}
+	}
+	epoch, err := s.db.Ingest(rows)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Epoch: epoch, Rows: len(rows)})
 }
 
 type queryRequest struct {
@@ -135,13 +241,8 @@ type explainResponse struct {
 }
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	ex, err := s.db.Explain(req.SQL)
@@ -164,13 +265,8 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {

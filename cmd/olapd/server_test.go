@@ -181,3 +181,92 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("stats = %+v", v)
 	}
 }
+
+func liveServer(t *testing.T, wal string) *httptest.Server {
+	t.Helper()
+	db, err := olap.Open(olap.Options{Rows: 2000, Seed: 5, Live: true, WALPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(db))
+	t.Cleanup(func() {
+		ts.Close()
+		if err := db.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	ts := liveServer(t, "")
+	// Rows become queryable in the returned epoch.
+	var ir ingestResponse
+	body := `{"rows":[
+		{"coords":[0,0,0],"measures":[100,1],"texts":["ingested corp","metropolis"]},
+		{"coords":[1,1,1],"measures":[200,2],"texts":["ingested corp","metropolis"]}]}`
+	if code := post(t, ts, "/ingest", body, &ir); code != 200 {
+		t.Fatalf("ingest = %d", code)
+	}
+	if ir.Epoch == 0 || ir.Rows != 2 {
+		t.Fatalf("ingest response = %+v", ir)
+	}
+	var v queryResponse
+	if code := postQuery(t, ts, `{"sql":"SELECT count(*)"}`, &v); code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if v.Rows == nil || *v.Rows != 2002 {
+		t.Fatalf("count after ingest = %+v", v)
+	}
+	// Text predicates see the appended dictionary entry.
+	if code := postQuery(t, ts, `{"sql":"SELECT sum(sales) WHERE store_name = 'ingested corp'"}`, &v); code != 200 {
+		t.Fatalf("text query = %d", code)
+	}
+	if v.Value == nil || *v.Value != 300 || *v.Rows != 2 {
+		t.Fatalf("text query = %+v", v)
+	}
+	// Stats expose the ingest section.
+	var st statsResponse
+	get(t, ts, "/stats", &st)
+	if st.Ingest == nil || st.Ingest.Batches != 1 || st.Ingest.IngestedRows != 2 ||
+		st.Ingest.Rows != 2002 {
+		t.Fatalf("stats.ingest = %+v", st.Ingest)
+	}
+	// Invalid rows are rejected without advancing the epoch.
+	if code := post(t, ts, "/ingest", `{"rows":[{"coords":[1],"measures":[1,1],"texts":["a","b"]}]}`, nil); code != 422 {
+		t.Fatalf("bad ingest = %d", code)
+	}
+}
+
+func TestIngestNotLive(t *testing.T) {
+	ts := testServer(t)
+	code := post(t, ts, "/ingest", `{"rows":[]}`, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("ingest on static server = %d, want 409", code)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	ts := testServer(t)
+	huge := `{"sql":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	for _, path := range []string{"/query", "/explain", "/ingest"} {
+		if code := post(t, ts, path, huge, nil); code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with oversized body = %d, want 413", path, code)
+		}
+	}
+}

@@ -33,7 +33,9 @@ func (db *DB) QueryGroups(sql string) ([]GroupRow, Route, error) {
 	}
 	out := make([]GroupRow, len(rows))
 	s := db.Schema()
-	dicts := db.sys.Config().Table.Dicts()
+	// Live systems decode text group labels through the growing append
+	// dictionaries, so freshly ingested strings label correctly.
+	dicts := db.sys.Dicts()
 	for i, r := range rows {
 		labels := make([]string, len(q.GroupBy))
 		for k, g := range q.GroupBy {

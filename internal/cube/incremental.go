@@ -1,0 +1,135 @@
+package cube
+
+import (
+	"fmt"
+
+	"hybridolap/internal/table"
+)
+
+// Incremental cube maintenance for the streaming-ingest path: instead of
+// rebuilding every pre-calculated cube on each ingested batch, the batch's
+// rows are folded into small *shadow* cubes (one per registered level) and
+// merged copy-on-write into the previous epoch's cubes. The merged cube
+// shares every chunk the shadow did not touch with its predecessor — a
+// published cube is immutable, so sharing is safe — and deep-copies only
+// the touched chunks. Per-epoch cost is proportional to the batch's cell
+// footprint, not the cube's.
+
+// cloneDense returns a freshly allocated dense copy of the chunk (the
+// receiver is never aliased by the result, unlike decompress on an
+// already-dense chunk).
+func (c *chunk) cloneDense(volume int) *chunk {
+	if c == nil || c.dense == nil {
+		return c.decompress(volume)
+	}
+	out := &chunk{dense: make([]Cell, volume), filled: c.filled}
+	copy(out.dense, c.dense)
+	return out
+}
+
+// MergeCOW returns a new cube equal to c with delta folded in. c is not
+// modified: untouched chunks are shared by pointer, touched chunks are
+// deep-copied, merged, and re-compressed under the 40% rule. Geometry,
+// level and measure must match.
+func (c *Cube) MergeCOW(delta *Cube) (*Cube, error) {
+	if delta.level != c.level || delta.measure != c.measure {
+		return nil, fmt.Errorf("cube: COW merge level/measure mismatch (%d/%d vs %d/%d)",
+			delta.level, delta.measure, c.level, c.measure)
+	}
+	if len(delta.cards) != len(c.cards) || delta.side != c.side {
+		return nil, fmt.Errorf("cube: COW merge geometry mismatch")
+	}
+	for d := range c.cards {
+		if c.cards[d] != delta.cards[d] {
+			return nil, fmt.Errorf("cube: COW merge cardinality mismatch in dimension %d", d)
+		}
+	}
+	out := &Cube{
+		level:   c.level,
+		cards:   append([]int(nil), c.cards...),
+		side:    c.side,
+		grid:    append([]int(nil), c.grid...),
+		vol:     c.vol,
+		measure: c.measure,
+		filled:  c.filled,
+		rows:    c.rows + delta.rows,
+	}
+	out.chunks = append([]*chunk(nil), c.chunks...)
+	for i, dch := range delta.chunks {
+		if dch == nil {
+			continue
+		}
+		ch := out.chunks[i].cloneDense(c.vol)
+		fold := func(off uint32, cell Cell) {
+			dst := &ch.dense[off]
+			if dst.Count == 0 && cell.Count != 0 {
+				ch.filled++
+				out.filled++
+			}
+			dst.merge(cell)
+		}
+		if dch.isDense() {
+			for off, cell := range dch.dense {
+				if cell.Count != 0 {
+					fold(uint32(off), cell)
+				}
+			}
+		} else {
+			for k, off := range dch.offsets {
+				fold(off, dch.cells[k])
+			}
+		}
+		out.chunks[i] = ch.compress()
+	}
+	return out, nil
+}
+
+// ShadowFromTable builds the shadow cubes of one delta stripe: one small
+// cube per materialised level of the set, aggregating the set's measure.
+// Levels with no real cube (virtual or absent) need no shadow.
+func (s *Set) ShadowFromTable(ft *table.FactTable, cfg Config) (map[int]*Cube, error) {
+	shadows := make(map[int]*Cube, len(s.cubes))
+	for l := range s.cubes {
+		sc, err := BuildFromTable(ft, l, s.measure, cfg)
+		if err != nil {
+			return nil, err
+		}
+		shadows[l] = sc
+	}
+	return shadows, nil
+}
+
+// MergeCOW returns a new set whose cube at each shadowed level is the COW
+// merge of the receiver's cube with the shadow; all other levels (and the
+// virtual registrations) carry over unchanged. The receiver is not
+// modified — snapshots pinned on it stay consistent.
+func (s *Set) MergeCOW(shadows map[int]*Cube) (*Set, error) {
+	out := &Set{
+		schema:  s.schema,
+		measure: s.measure,
+		cubes:   make(map[int]*Cube, len(s.cubes)),
+		virtual: make(map[int]bool, len(s.virtual)),
+		levels:  append([]int(nil), s.levels...),
+	}
+	for l, v := range s.virtual {
+		out.virtual[l] = v
+	}
+	for l, c := range s.cubes {
+		sh, ok := shadows[l]
+		if !ok {
+			out.cubes[l] = c
+			continue
+		}
+		merged, err := c.MergeCOW(sh)
+		if err != nil {
+			return nil, fmt.Errorf("cube: level %d: %w", l, err)
+		}
+		out.cubes[l] = merged
+	}
+	for l := range shadows {
+		if _, ok := s.cubes[l]; !ok {
+			return nil, fmt.Errorf("cube: shadow for unregistered level %d", l)
+		}
+	}
+	return out, nil
+}

@@ -82,6 +82,72 @@ func (s *Set) TranslateRange(column, from, to string) (lo, hi ID, empty bool, er
 	return lo, hi, false, nil
 }
 
+// RangeExtraLookuper is implemented by dictionaries whose code order can
+// diverge from lexicographic order in an appended tail (see Append): a
+// string interval translates to a base code interval plus explicit extra
+// point codes.
+type RangeExtraLookuper interface {
+	LookupRangeExtra(from, to string) (lo, hi ID, extra []ID, ok bool)
+}
+
+// TranslateRangeExtra converts a text interval [from, to] on a column to
+// a code interval plus extra point codes (empty for purely sorted
+// dictionaries). It prefers the RangeExtraLookuper form and falls back to
+// plain TranslateRange, so callers can use it uniformly for frozen and
+// live dictionaries.
+func (s *Set) TranslateRangeExtra(column, from, to string) (lo, hi ID, extra []ID, empty bool, err error) {
+	d, ok := s.byColumn[column]
+	if !ok {
+		return 0, 0, nil, false, fmt.Errorf("dict: column %q has no dictionary", column)
+	}
+	if rel, ok := d.(RangeExtraLookuper); ok {
+		lo, hi, extra, ok = rel.LookupRangeExtra(from, to)
+		if !ok {
+			return 0, 0, nil, true, nil
+		}
+		return lo, hi, extra, false, nil
+	}
+	lo, hi, empty, err = s.TranslateRange(column, from, to)
+	return lo, hi, nil, empty, err
+}
+
+// Appender is the write side of a growable dictionary (see Append).
+type Appender interface {
+	Dictionary
+	GetOrAdd(s string) (id ID, added bool, err error)
+}
+
+// GetOrAdd encodes a literal on a column, appending it to the column's
+// dictionary when absent. It fails for frozen (non-Appender) dictionaries.
+func (s *Set) GetOrAdd(column, literal string) (ID, bool, error) {
+	d, ok := s.byColumn[column]
+	if !ok {
+		return NotFound, false, fmt.Errorf("dict: column %q has no dictionary", column)
+	}
+	a, ok := d.(Appender)
+	if !ok {
+		return NotFound, false, fmt.Errorf("dict: dictionary for column %q is frozen", column)
+	}
+	return a.GetOrAdd(literal)
+}
+
+// AppendSet wraps every column of a frozen set in an append-capable live
+// dictionary (stable base codes, growable tail). The frozen set is left
+// untouched; the returned set is the live table's dictionary set.
+func AppendSet(frozen *Set) (*Set, error) {
+	live := NewSet()
+	if frozen != nil {
+		for col, d := range frozen.byColumn {
+			a, err := NewAppend(d)
+			if err != nil {
+				return nil, fmt.Errorf("dict: column %q: %w", col, err)
+			}
+			live.Put(col, a)
+		}
+	}
+	return live, nil
+}
+
 // Decode converts a code on a column back to its string.
 func (s *Set) Decode(column string, id ID) (string, error) {
 	d, ok := s.byColumn[column]

@@ -19,9 +19,11 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"hybridolap/internal/cube"
 	"hybridolap/internal/gpusim"
+	"hybridolap/internal/ingest"
 	"hybridolap/internal/perfmodel"
 	"hybridolap/internal/query"
 	"hybridolap/internal/sched"
@@ -54,6 +56,12 @@ type Config struct {
 	// estimation consults it; RunReal translates against the real
 	// dictionaries. Columns not present fall back to the real length.
 	VirtualDictLens map[string]int
+	// Live attaches a streaming ingest store: queries pin an epoch
+	// snapshot at bind time and answer over base + delta stripes, text
+	// translates against the store's growing append dictionaries, and the
+	// CPU path aggregates the pinned epoch's incrementally maintained cube
+	// set. Table must be the store's base-stripe table (the epoch-0 base).
+	Live *ingest.Store
 }
 
 // System is a runnable hybrid OLAP engine.
@@ -62,6 +70,12 @@ type System struct {
 	scheduler *sched.Scheduler
 	widths    []int
 	totalCols int
+
+	// schedMu serialises all scheduler mutation (Submit, Feedback,
+	// SubmitMaintenance) and consistent reads (Peek, Stats): RunReal
+	// workers, RunGrouped, Explain and the compaction pacer all share the
+	// one scheduler.
+	schedMu sync.Mutex
 }
 
 // New validates the wiring and builds the scheduler.
@@ -91,6 +105,14 @@ func New(cfg Config) (*System, error) {
 	widths := make([]int, len(parts))
 	for i, p := range parts {
 		widths[i] = p.SMs()
+	}
+	if cfg.Live != nil {
+		ls := cfg.Live.Schema()
+		ts := cfg.Table.Schema()
+		if len(ls.Dimensions) != len(ts.Dimensions) || len(ls.Measures) != len(ts.Measures) ||
+			len(ls.Texts) != len(ts.Texts) {
+			return nil, fmt.Errorf("engine: live store schema does not match the device table")
+		}
 	}
 	cfg.Sched.GPUWidths = widths
 	s, err := sched.New(cfg.Sched)
@@ -127,7 +149,9 @@ func (s *System) Estimate(q *query.Query) (sched.Estimates, error) {
 			}
 			n, ok := s.cfg.VirtualDictLens[tc.Column]
 			if !ok {
-				n = s.cfg.Table.Dicts().DictLen(tc.Column)
+				// Live systems price translation against the growing
+				// append dictionaries.
+				n = s.dicts().DictLen(tc.Column)
 			}
 			for k := 0; k < tc.Lookups(); k++ {
 				lens = append(lens, n)
@@ -183,69 +207,24 @@ func aggValue(op table.AggOp, a cube.Agg) (float64, int64) {
 // query's measure is the one the cubes aggregate (count queries read no
 // measure, so any cube set works).
 func (s *System) cpuCanAnswer(q *query.Query) bool {
-	if q.GPUOnly() {
-		return false
-	}
-	return q.Op == table.AggCount || q.Measure == s.cfg.Cubes.Measure()
+	return s.cpuCanAnswerWith(q, s.cfg.Cubes)
 }
 
-// AnswerOnCPU answers a query from the cube set (the CPU partition's work),
-// using the configured aggregation parallelism.
+// AnswerOnCPU answers a query from the cube set (the CPU partition's
+// work) at the current epoch, using the configured aggregation
+// parallelism.
 func (s *System) AnswerOnCPU(q *query.Query) (table.ScanResult, error) {
-	if s.cfg.Cubes == nil {
-		return table.ScanResult{}, fmt.Errorf("engine: no cube set configured")
-	}
-	if !s.cpuCanAnswer(q) {
-		return table.ScanResult{}, fmt.Errorf("engine: query %d (measure %d, %d text predicates) cannot be answered from the cube set",
-			q.ID, q.Measure, len(q.TextConds))
-	}
-	r := q.Resolution()
-	box, empty, err := q.Box(s.cfg.Cubes.Schema(), r)
-	if err != nil {
-		return table.ScanResult{}, err
-	}
-	if empty {
-		return table.ScanResult{}, nil
-	}
-	agg, _, err := s.cfg.Cubes.Aggregate(box, r, s.cfg.CPUThreads)
-	if err != nil {
-		return table.ScanResult{}, err
-	}
-	v, rows := aggValue(q.Op, agg)
-	return table.ScanResult{Value: v, Rows: rows}, nil
+	return s.AnswerOnCPUAt(q, s.pin())
 }
 
-// AnswerOnGPU answers a (translated) query on a specific GPU partition.
+// AnswerOnGPU answers a (translated) query on a specific GPU partition at
+// the current epoch.
 func (s *System) AnswerOnGPU(q *query.Query, partition int) (table.ScanResult, error) {
-	parts := s.cfg.Device.Partitions()
-	if partition < 0 || partition >= len(parts) {
-		return table.ScanResult{}, fmt.Errorf("engine: partition %d out of range", partition)
-	}
-	req, empty, err := q.ToScanRequest(s.cfg.Table.Schema())
-	if err != nil {
-		return table.ScanResult{}, err
-	}
-	if empty {
-		return table.ScanResult{}, nil
-	}
-	return parts[partition].Execute(req)
+	return s.AnswerOnGPUAt(q, partition, s.pin())
 }
 
-// Reference answers a query by a sequential full scan of the fact table —
-// the ground truth both partitions must agree with.
+// Reference answers a query by a sequential full scan of the current
+// epoch — the ground truth both partitions must agree with.
 func (s *System) Reference(q *query.Query) (table.ScanResult, error) {
-	qq := q.Clone()
-	if qq.NeedsTranslation() {
-		if _, err := query.Translate(qq, s.cfg.Table.Dicts()); err != nil {
-			return table.ScanResult{}, err
-		}
-	}
-	req, empty, err := qq.ToScanRequest(s.cfg.Table.Schema())
-	if err != nil {
-		return table.ScanResult{}, err
-	}
-	if empty {
-		return table.ScanResult{}, nil
-	}
-	return table.Scan(s.cfg.Table, req)
+	return s.ReferenceAt(q, s.pin())
 }

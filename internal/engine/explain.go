@@ -36,7 +36,9 @@ func (s *System) Explain(q *query.Query) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.schedMu.Lock()
 	d, err := s.scheduler.Peek(0, est)
+	s.schedMu.Unlock()
 	if err != nil {
 		return nil, err
 	}

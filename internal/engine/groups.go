@@ -8,21 +8,29 @@ import (
 	"hybridolap/internal/table"
 )
 
-// AnswerGroupsOnCPU answers a grouped query from the cube set. The picked
-// cube must be at least as fine as every condition and grouping level; the
-// aggregates per group are exact (cube cells compose).
+// AnswerGroupsOnCPU answers a grouped query from the cube set at the
+// current epoch. The picked cube must be at least as fine as every
+// condition and grouping level; the aggregates per group are exact (cube
+// cells compose).
 func (s *System) AnswerGroupsOnCPU(q *query.Query) ([]table.GroupRow, error) {
-	if s.cfg.Cubes == nil {
+	return s.answerGroupsOnCPUAt(q, s.pin())
+}
+
+// answerGroupsOnCPUAt answers a grouped query from the cube set riding
+// the given epoch snapshot (nil means the static configuration).
+func (s *System) answerGroupsOnCPUAt(q *query.Query, snap *table.Snapshot) ([]table.GroupRow, error) {
+	cs := s.cubesAt(snap)
+	if cs == nil {
 		return nil, fmt.Errorf("engine: no cube set configured")
 	}
 	if !q.Grouped() {
 		return nil, fmt.Errorf("engine: query %d has no GROUP BY", q.ID)
 	}
-	if !s.cpuCanAnswer(q) {
+	if !s.cpuCanAnswerWith(q, cs) {
 		return nil, fmt.Errorf("engine: grouped query %d cannot be answered from the cube set", q.ID)
 	}
 	r := q.Resolution()
-	box, empty, err := q.Box(s.cfg.Cubes.Schema(), r)
+	box, empty, err := q.Box(cs.Schema(), r)
 	if err != nil {
 		return nil, err
 	}
@@ -33,7 +41,7 @@ func (s *System) AnswerGroupsOnCPU(q *query.Query) ([]table.GroupRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := s.cfg.Cubes.AggregateGroups(box, r, groups, s.cfg.CPUThreads)
+	m, err := cs.AggregateGroups(box, r, groups, s.cfg.CPUThreads)
 	if err != nil {
 		return nil, err
 	}
@@ -55,39 +63,15 @@ func (s *System) AnswerGroupsOnCPU(q *query.Query) ([]table.GroupRow, error) {
 }
 
 // AnswerGroupsOnGPU answers a (translated) grouped query on one GPU
-// partition.
+// partition at the current epoch.
 func (s *System) AnswerGroupsOnGPU(q *query.Query, partition int) ([]table.GroupRow, error) {
-	parts := s.cfg.Device.Partitions()
-	if partition < 0 || partition >= len(parts) {
-		return nil, fmt.Errorf("engine: partition %d out of range", partition)
-	}
-	req, empty, err := q.ToGroupScanRequest(s.cfg.Table.Schema())
-	if err != nil {
-		return nil, err
-	}
-	if empty {
-		return nil, nil
-	}
-	return parts[partition].ExecuteGroup(req)
+	return s.AnswerGroupsOnGPUAt(q, partition, s.pin())
 }
 
 // ReferenceGroups answers a grouped query by a sequential scan — the
 // ground truth both paths must match.
 func (s *System) ReferenceGroups(q *query.Query) ([]table.GroupRow, error) {
-	qq := q.Clone()
-	if qq.NeedsTranslation() {
-		if _, err := query.Translate(qq, s.cfg.Table.Dicts()); err != nil {
-			return nil, err
-		}
-	}
-	req, empty, err := qq.ToGroupScanRequest(s.cfg.Table.Schema())
-	if err != nil {
-		return nil, err
-	}
-	if empty {
-		return nil, nil
-	}
-	return table.GroupScan(s.cfg.Table, req)
+	return s.ReferenceGroupsAt(q, s.pin())
 }
 
 // RunGrouped schedules one grouped query with the Fig. 10 algorithm (its
@@ -100,19 +84,22 @@ func (s *System) RunGrouped(q *query.Query) ([]table.GroupRow, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	s.schedMu.Lock()
 	d, err := s.scheduler.Submit(0, est)
+	s.schedMu.Unlock()
 	if err != nil {
 		return nil, "", err
 	}
+	snap := s.pin() // bind-time epoch: stable across translation + scan
 	if est.NeedsTranslation {
-		if _, err := query.Translate(qq, s.cfg.Table.Dicts()); err != nil {
+		if _, err := query.Translate(qq, s.dicts()); err != nil {
 			return nil, "", err
 		}
 	}
 	if d.Queue.Kind == sched.QueueCPU {
-		rows, err := s.AnswerGroupsOnCPU(qq)
+		rows, err := s.answerGroupsOnCPUAt(qq, snap)
 		return rows, "cpu", err
 	}
-	rows, err := s.AnswerGroupsOnGPU(qq, d.Queue.Index)
+	rows, err := s.AnswerGroupsOnGPUAt(qq, d.Queue.Index, snap)
 	return rows, d.Queue.String(), err
 }

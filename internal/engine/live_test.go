@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridolap/internal/ingest"
+	"hybridolap/internal/query"
+	"hybridolap/internal/table"
+)
+
+func liveSystem(t testing.TB, rows int) *System {
+	t.Helper()
+	s, err := Setup(SetupSpec{Rows: rows, Seed: 1, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Live().Close(); err != nil {
+			t.Errorf("closing live store: %v", err)
+		}
+	})
+	return s
+}
+
+// liveRow builds a valid paper-schema row (3 dims, 2 measures, 2 texts)
+// whose text values never collide with generated names.
+func liveRow(i int) table.Row {
+	return table.Row{
+		Coords:   []int{i % 1024, i % 512, i % 2048},
+		Measures: []float64{float64(i%100) + 0.5, float64(i % 7)},
+		Texts: []string{
+			fmt.Sprintf("live store #%d", i%5),
+			fmt.Sprintf("live city %d", i%3),
+		},
+	}
+}
+
+func TestLiveIngestVisibleToRunReal(t *testing.T) {
+	s := liveSystem(t, 2000)
+
+	var want float64
+	var wantRows int64
+	rows := make([]table.Row, 10)
+	for i := range rows {
+		rows[i] = liveRow(i)
+		if i%5 == 0 {
+			want += rows[i].Measures[0]
+			wantRows++
+		}
+	}
+	snap, err := s.Ingest(&ingest.Batch{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch() == 0 {
+		t.Fatal("epoch did not advance")
+	}
+
+	// The string is novel, so only the ingested rows can match; the text
+	// predicate exercises append-dictionary translation inside RunReal.
+	q, err := query.Parse("SELECT sum(sales) WHERE store_name = 'live store #0'",
+		s.Config().Table.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunReal([]*query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Outcomes[0]
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Result.Rows != wantRows || math.Abs(o.Result.Value-want) > 1e-9 {
+		t.Fatalf("got (%v, %d), want (%v, %d)", o.Result.Value, o.Result.Rows, want, wantRows)
+	}
+
+	// A grouped dimension query over the live snapshot matches the
+	// from-scratch scan reference at the same (quiescent) epoch.
+	gq := &query.Query{
+		Conditions: []query.Condition{{Dim: 0, Level: 0, From: 0, To: 3}},
+		GroupBy:    []query.GroupRef{{Dim: 0, Level: 0}},
+		Measure:    0, Op: table.AggSum,
+	}
+	got, _, err := s.RunGrouped(gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.ReferenceGroups(gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupRowsEqual(t, got, ref, "live-grouped")
+}
+
+// TestLiveConcurrentIngestQueryCompact drives writers, scalar and grouped
+// readers, and the background compactor against one live system; run with
+// -race this is the engine-level concurrency check for the write path.
+func TestLiveConcurrentIngestQueryCompact(t *testing.T) {
+	const baseRows, writers, batches, perBatch = 2000, 2, 10, 20
+	s := liveSystem(t, baseRows)
+	store := s.Live()
+	if store.StartCompactor(ingest.CompactorConfig{MinDeltas: 2, Interval: time.Millisecond}) == nil {
+		t.Fatal("compactor did not start")
+	}
+
+	var wWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wWG.Add(1)
+		go func(w int) {
+			defer wWG.Done()
+			for b := 0; b < batches; b++ {
+				rows := make([]table.Row, perBatch)
+				for i := range rows {
+					rows[i] = liveRow(w*10_000 + b*perBatch + i)
+				}
+				if _, err := s.Ingest(&ingest.Batch{Rows: rows}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	total := int64(baseRows + writers*batches*perBatch)
+	stop := make(chan struct{})
+	var rWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rWG.Add(1)
+		go func() {
+			defer rWG.Done()
+			gq := &query.Query{
+				GroupBy: []query.GroupRef{{Dim: 1, Level: 1}},
+				Measure: 0, Op: table.AggCount,
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q, err := query.Parse("SELECT count(*)", s.Config().Table.Schema())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := s.RunReal([]*query.Query{q})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				o := res.Outcomes[0]
+				if o.Err != nil {
+					t.Error(o.Err)
+					return
+				}
+				// Each query pins one epoch: it sees at least the base
+				// stripe and never rows beyond the final total.
+				if o.Result.Rows < baseRows || o.Result.Rows > total {
+					t.Errorf("count = %d outside [%d, %d]", o.Result.Rows, baseRows, total)
+					return
+				}
+				if _, _, err := s.RunGrouped(gq.Clone()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	wWG.Wait()
+	close(stop)
+	rWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Stats().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if store.Stats().Compactions == 0 {
+		t.Fatal("compactor never ran")
+	}
+	if st := s.Scheduler().Stats(); st.MaintenanceJobs == 0 {
+		t.Fatal("compaction booked no maintenance jobs on the scheduler")
+	}
+	if n := int64(store.Current().Rows()); n != total {
+		t.Fatalf("final rows = %d, want %d", n, total)
+	}
+
+	// Quiescent count(*) sees every acknowledged row exactly once.
+	q, err := query.Parse("SELECT count(*)", s.Config().Table.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunReal([]*query.Query{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := res.Outcomes[0]; o.Err != nil || o.Result.Rows != total {
+		t.Fatalf("final count = (%d, %v), want %d", o.Result.Rows, o.Err, total)
+	}
+}

@@ -160,7 +160,9 @@ func (s *System) RunModel(queries []*query.Query, opts ModelOptions) (*ModelResu
 				firstErr = fmt.Errorf("engine: estimating query %d: %w", q.ID, err)
 				return
 			}
+			s.schedMu.Lock()
 			d, err := s.scheduler.Submit(nowS, est)
+			s.schedMu.Unlock()
 			if err != nil {
 				firstErr = fmt.Errorf("engine: scheduling query %d: %w", q.ID, err)
 				return
@@ -168,7 +170,9 @@ func (s *System) RunModel(queries []*query.Query, opts ModelOptions) (*ModelResu
 
 			finish := func(f sim.Time, estSvc, actSvc float64, queue sched.QueueRef) {
 				fs := sim.Seconds(f)
+				s.schedMu.Lock()
 				s.scheduler.Feedback(queue, actSvc-estSvc, fs)
+				s.schedMu.Unlock()
 				res.Completed++
 				met := fs <= d.Deadline
 				if met {
@@ -210,7 +214,9 @@ func (s *System) RunModel(queries []*query.Query, opts ModelOptions) (*ModelResu
 						transQueue = sched.QueueRef{Kind: sched.QueueCPU}
 					}
 					gate = srv.Submit(sim.FromSeconds(actTr), func(f sim.Time) {
+						s.schedMu.Lock()
 						s.scheduler.Feedback(transQueue, actTr-estTr, sim.Seconds(f))
+						s.schedMu.Unlock()
 					})
 				}
 				gpuSrv[i].SubmitAfter(gate, sim.FromSeconds(actSvc), func(f sim.Time) {
@@ -251,6 +257,8 @@ func (s *System) RunModel(queries []*query.Query, opts ModelOptions) (*ModelResu
 	for i, srv := range gpuSrv {
 		res.Utilisation[fmt.Sprintf("gpu[%d]", i)] = srv.Utilisation()
 	}
+	s.schedMu.Lock()
 	res.SchedStats = s.scheduler.Stats()
+	s.schedMu.Unlock()
 	return res, nil
 }

@@ -42,6 +42,10 @@ type realJob struct {
 	est      sched.Estimates
 	started  time.Time
 	slot     int // index into outcomes
+	// snap is the epoch pinned at bind time (nil on static systems): the
+	// worker answers exactly this snapshot no matter how much ingest or
+	// compaction happens while the job queues.
+	snap *table.Snapshot
 }
 
 // RunReal executes every query for real: the scheduler (driven by the wall
@@ -66,11 +70,13 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 	start := time.Now()
 	nowS := func() float64 { return time.Since(start).Seconds() }
 
-	var mu sync.Mutex // serialises scheduler access from workers
+	// The system-wide schedMu serialises scheduler access: workers here,
+	// concurrent RunGrouped/Explain calls and the compaction pacer all
+	// mutate the same queue clocks.
 	feedback := func(ref sched.QueueRef, delta float64) {
-		mu.Lock()
+		s.schedMu.Lock()
 		s.scheduler.Feedback(ref, delta, nowS())
-		mu.Unlock()
+		s.schedMu.Unlock()
 	}
 
 	var wg sync.WaitGroup
@@ -88,7 +94,7 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 	go func() {
 		for j := range cpuCh {
 			t0 := time.Now()
-			r, err := s.AnswerOnCPU(j.q)
+			r, err := s.AnswerOnCPUAt(j.q, j.snap)
 			act := time.Since(t0).Seconds()
 			feedback(j.decision.Queue, act-j.est.CPUSeconds)
 			done(j, r, j.est.CPUSeconds, act, err)
@@ -96,12 +102,14 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 	}()
 
 	// Translation partition worker: translate, then forward to the GPU
-	// queue chosen by the scheduler.
+	// queue chosen by the scheduler. Live systems translate against the
+	// growing append dictionaries; codes for strings added after the
+	// job's pinned epoch match no pinned row, so answers stay stable.
 	go func() {
 		transQueue := sched.QueueRef{Kind: sched.QueueCPU, Index: -1}
 		for j := range transCh {
 			t0 := time.Now()
-			_, err := query.Translate(j.q, s.cfg.Table.Dicts())
+			_, err := query.Translate(j.q, s.dicts())
 			feedback(transQueue, time.Since(t0).Seconds()-j.est.TransSeconds)
 			if err != nil {
 				done(j, table.ScanResult{}, j.est.TransSeconds, 0, err)
@@ -117,7 +125,7 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 		go func() {
 			for j := range gpuCh[i] {
 				t0 := time.Now()
-				r, err := s.AnswerOnGPU(j.q, i)
+				r, err := s.AnswerOnGPUAt(j.q, i, j.snap)
 				act := time.Since(t0).Seconds()
 				feedback(j.decision.Queue, act-j.est.GPUSeconds[i])
 				done(j, r, j.est.GPUSeconds[i], act, err)
@@ -141,15 +149,15 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 			submitErr = fmt.Errorf("engine: estimating query %d: %w", q.ID, err)
 			break
 		}
-		mu.Lock()
+		s.schedMu.Lock()
 		d, err := s.scheduler.Submit(nowS(), est)
-		mu.Unlock()
+		s.schedMu.Unlock()
 		if err != nil {
 			submitErr = fmt.Errorf("engine: scheduling query %d: %w", q.ID, err)
 			break
 		}
 		wg.Add(1)
-		j := realJob{q: q, decision: d, est: est, started: time.Now(), slot: slot}
+		j := realJob{q: q, decision: d, est: est, started: time.Now(), slot: slot, snap: s.pin()}
 		switch {
 		case d.Queue.Kind == sched.QueueCPU:
 			cpuCh <- j
@@ -180,8 +188,8 @@ func (s *System) RunReal(queries []*query.Query) (*RealResult, error) {
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.Throughput = float64(res.Completed) / secs
 	}
-	mu.Lock()
+	s.schedMu.Lock()
 	res.SchedStats = s.scheduler.Stats()
-	mu.Unlock()
+	s.schedMu.Unlock()
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"hybridolap/internal/cube"
 	"hybridolap/internal/gpusim"
+	"hybridolap/internal/ingest"
 	"hybridolap/internal/perfmodel"
 	"hybridolap/internal/sched"
 	"hybridolap/internal/table"
@@ -38,6 +39,14 @@ type SetupSpec struct {
 	// VirtualDictLens overrides dictionary lengths for translation-time
 	// estimation (paper-scale dictionaries over a laptop-scale table).
 	VirtualDictLens map[string]int
+	// Live wraps the generated table in a streaming ingest store: queries
+	// pin epoch snapshots, Ingest accepts row batches and the cube set is
+	// maintained incrementally. Implied by LiveWALPath.
+	Live bool
+	// LiveWALPath persists ingested batches to a crash-recoverable append
+	// log at this path (implies Live); on startup every intact logged
+	// batch is replayed.
+	LiveWALPath string
 }
 
 // Setup generates the fact table on the paper schema, loads it into a
@@ -90,13 +99,26 @@ func Setup(spec SetupSpec) (*System, error) {
 		}
 	}
 
-	return New(Config{
+	var store *ingest.Store
+	if spec.Live || spec.LiveWALPath != "" {
+		store, err = ingest.Open(ingest.Config{
+			Base:    ft,
+			Cubes:   cs,
+			WALPath: spec.LiveWALPath,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: opening ingest store: %w", err)
+		}
+	}
+
+	sys, err := New(Config{
 		Table:           ft,
 		Cubes:           cs,
 		Device:          dev,
 		Estimator:       spec.Estimator,
 		CPUThreads:      spec.CPUThreads,
 		VirtualDictLens: spec.VirtualDictLens,
+		Live:            store,
 		Sched: sched.Config{
 			DeadlineSeconds: spec.DeadlineSeconds,
 			Policy:          spec.Policy,
@@ -105,4 +127,15 @@ func Setup(spec SetupSpec) (*System, error) {
 			DisableFeedback: spec.DisableFeedback,
 		},
 	})
+	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
+		return nil, err
+	}
+	if store != nil {
+		// Compaction books its cost on the scheduler's CPU queue.
+		store.SetPacer(sys.CompactionPacer())
+	}
+	return sys, nil
 }

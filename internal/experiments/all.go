@@ -30,6 +30,7 @@ func Registry() map[string]Runner {
 		"ablation-layout":      AblationPartitionLayout,
 		"batch-heuristics":     BatchHeuristics,
 		"scan-kernels":         ScanKernels,
+		"ingest":               IngestThroughput,
 	}
 }
 
@@ -39,7 +40,7 @@ var order = []string{
 	"fig3", "fig4", "fig5", "fig8", "fig9",
 	"ablation-placement", "ablation-translation", "ablation-feedback",
 	"ablation-globaldict", "ablation-layout", "batch-heuristics",
-	"scan-kernels",
+	"scan-kernels", "ingest",
 }
 
 // IDs returns all experiment IDs in presentation order.

@@ -1,0 +1,220 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"hybridolap/internal/table"
+)
+
+// workUnit is one slice of one stripe's row space — the snapshot analogue
+// of the single-table row stripe Execute cuts.
+type workUnit struct {
+	stripe int
+	lo, hi int
+}
+
+// snapshotUnits binds the request against every stripe of the snapshot
+// (once per stripe, so no unit re-validates) and cuts the combined row
+// space into about p.sms*StripesPerSM units, never crossing stripe
+// boundaries. bind adapts per request shape (scalar vs grouped plans).
+func snapshotUnits(snap *table.Snapshot, sms int, bind func(int, *table.FactTable) error) ([]workUnit, error) {
+	stripes := snap.Stripes()
+	total := snap.Rows()
+	if total == 0 {
+		return nil, nil
+	}
+	want := sms * StripesPerSM
+	if want > total {
+		want = total
+	}
+	if want < 1 {
+		want = 1
+	}
+	unitLen := (total + want - 1) / want
+	var units []workUnit
+	for i, st := range stripes {
+		ft := st.Table()
+		if ft.Rows() == 0 {
+			continue
+		}
+		if err := bind(i, ft); err != nil {
+			return nil, err
+		}
+		for lo := 0; lo < ft.Rows(); lo += unitLen {
+			hi := lo + unitLen
+			if hi > ft.Rows() {
+				hi = ft.Rows()
+			}
+			units = append(units, workUnit{stripe: i, lo: lo, hi: hi})
+		}
+	}
+	return units, nil
+}
+
+// ExecuteSnapshot runs the scalar GPU pipeline of Execute over an epoch
+// snapshot instead of the device's resident table: the request binds once
+// per stripe, the combined row space is cut into work units that respect
+// stripe boundaries, one goroutine per SM drains units from a shared
+// cursor accumulating SM-local intermediate values, and a parallel
+// reduction merges the partials. Live-table queries pin the snapshot at
+// bind time, so a concurrently ingesting store never changes the row set
+// mid-kernel.
+func (p *Partition) ExecuteSnapshot(snap *table.Snapshot, req table.ScanRequest) (table.ScanResult, error) {
+	if snap == nil {
+		return table.ScanResult{}, fmt.Errorf("gpusim: nil snapshot")
+	}
+	plans := make([]*table.ScanPlan, len(snap.Stripes()))
+	units, err := snapshotUnits(snap, p.sms, func(i int, ft *table.FactTable) error {
+		pl, err := table.BindScan(ft, req)
+		if err != nil {
+			return err
+		}
+		plans[i] = pl
+		return nil
+	})
+	if err != nil {
+		return table.ScanResult{}, err
+	}
+	if len(units) == 0 {
+		p.done()
+		return table.Finalize(req.Op, table.ScanResult{}), nil
+	}
+	if len(units) == 1 {
+		u := units[0]
+		res, err := plans[u.stripe].Range(u.lo, u.hi)
+		if err != nil {
+			return table.ScanResult{}, err
+		}
+		p.done()
+		return table.Finalize(req.Op, res), nil
+	}
+
+	var next int
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= len(units) {
+			return -1
+		}
+		u := next
+		next++
+		return u
+	}
+	partials := make([]table.ScanResult, p.sms)
+	errs := make([]error, p.sms)
+	var wg sync.WaitGroup
+	for sm := 0; sm < p.sms; sm++ {
+		wg.Add(1)
+		go func(sm int) {
+			defer wg.Done()
+			var acc table.ScanResult
+			for {
+				i := take()
+				if i < 0 {
+					break
+				}
+				u := units[i]
+				part, err := plans[u.stripe].Range(u.lo, u.hi)
+				if err != nil {
+					errs[sm] = err
+					return
+				}
+				acc = table.Merge(req.Op, acc, part)
+			}
+			partials[sm] = acc
+		}(sm)
+	}
+	wg.Wait()
+	var acc table.ScanResult
+	for sm := 0; sm < p.sms; sm++ {
+		if errs[sm] != nil {
+			return table.ScanResult{}, errs[sm]
+		}
+		acc = table.Merge(req.Op, acc, partials[sm])
+	}
+	p.done()
+	return table.Finalize(req.Op, acc), nil
+}
+
+// ExecuteGroupSnapshot is ExecuteGroup over an epoch snapshot: per-SM hash
+// tables accumulate across every work unit the SM drains (units span all
+// stripes), then merge pairwise and finalise sorted by packed key.
+func (p *Partition) ExecuteGroupSnapshot(snap *table.Snapshot, req table.GroupScanRequest) ([]table.GroupRow, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("gpusim: nil snapshot")
+	}
+	plans := make([]*table.GroupScanPlan, len(snap.Stripes()))
+	units, err := snapshotUnits(snap, p.sms, func(i int, ft *table.FactTable) error {
+		pl, err := table.BindGroupScan(ft, req)
+		if err != nil {
+			return err
+		}
+		plans[i] = pl
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		p.done()
+		return table.FinalizeGroups(req.Op, nil, len(req.GroupBy)), nil
+	}
+	if len(units) == 1 {
+		u := units[0]
+		g, err := plans[u.stripe].RangeInto(u.lo, u.hi, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.done()
+		return table.FinalizeGroups(req.Op, g, len(req.GroupBy)), nil
+	}
+
+	var next int
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= len(units) {
+			return -1
+		}
+		u := next
+		next++
+		return u
+	}
+	partials := make([]table.Groups, p.sms)
+	errs := make([]error, p.sms)
+	var wg sync.WaitGroup
+	for sm := 0; sm < p.sms; sm++ {
+		wg.Add(1)
+		go func(sm int) {
+			defer wg.Done()
+			var acc table.Groups
+			for {
+				i := take()
+				if i < 0 {
+					break
+				}
+				u := units[i]
+				part, err := plans[u.stripe].RangeInto(u.lo, u.hi, acc)
+				if err != nil {
+					errs[sm] = err
+					return
+				}
+				acc = part
+			}
+			partials[sm] = acc
+		}(sm)
+	}
+	wg.Wait()
+	var acc table.Groups
+	for sm := 0; sm < p.sms; sm++ {
+		if errs[sm] != nil {
+			return nil, errs[sm]
+		}
+		acc = table.MergeGroups(req.Op, acc, partials[sm])
+	}
+	p.done()
+	return table.FinalizeGroups(req.Op, acc, len(req.GroupBy)), nil
+}

@@ -1,0 +1,95 @@
+package ingest
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hybridolap/internal/cube"
+)
+
+// BenchmarkIngest measures one batch through the full write path: WAL
+// append (when on), text encoding, delta-stripe build, copy-on-write cube
+// maintenance and epoch publish.
+func BenchmarkIngest(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		batch int
+		wal   bool
+		cubes bool
+	}{
+		{"batch100", 100, false, true},
+		{"batch1000", 1000, false, true},
+		{"batch1000-wal", 1000, true, true},
+		{"batch1000-nocubes", 1000, false, false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			base := baseTable(b, 5000, 1)
+			cfg := Config{Base: base}
+			if bc.cubes {
+				cs, err := cube.BuildSet(base, []int{0, 1}, 0, cube.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Cubes = cs
+			}
+			if bc.wal {
+				cfg.WALPath = filepath.Join(b.TempDir(), "bench.wal")
+			}
+			s, err := Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			rng := rand.New(rand.NewSource(7))
+			batches := make([]*Batch, 8)
+			for i := range batches {
+				batches[i] = randBatch(rng, s.Schema(), bc.batch)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Ingest(batches[i%len(batches)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*bc.batch)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkCompactOnce measures folding a run of delta stripes back into
+// the preceding base stripe.
+func BenchmarkCompactOnce(b *testing.B) {
+	base := baseTable(b, 5000, 1)
+	rng := rand.New(rand.NewSource(9))
+	s, err := Open(Config{Base: base})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	batches := make([]*Batch, 4)
+	for i := range batches {
+		batches[i] = randBatch(rng, s.Schema(), 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, bt := range batches {
+			if _, err := s.Ingest(bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for {
+			n, err := s.CompactOnce(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}

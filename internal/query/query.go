@@ -41,6 +41,11 @@ type TextCondition struct {
 	// InCodes holds the translated IN-list codes (literals missing from
 	// the dictionary are simply dropped: they can match no row).
 	InCodes []uint32
+	// ExtraCodes holds point codes outside [FromCode, ToCode] that a range
+	// translation must also accept: an append-only dictionary assigns
+	// arrival-order codes to strings ingested after the base build, so a
+	// lexical interval can cover codes scattered past the sorted base.
+	ExtraCodes []uint32
 	// Empty means translation proved no stored value matches; the scan can
 	// short-circuit to an empty result.
 	Empty bool
@@ -256,9 +261,13 @@ func (q *Query) ToScanRequest(s *table.Schema) (req table.ScanRequest, emptyResu
 			req.Predicates = append(req.Predicates, pred)
 			continue
 		}
-		req.Predicates = append(req.Predicates, table.RangePredicate{
+		pred := table.RangePredicate{
 			Text: true, TextIndex: ti, From: tc.FromCode, To: tc.ToCode,
-		})
+		}
+		for _, c := range tc.ExtraCodes {
+			pred.Or = append(pred.Or, table.CodeRange{From: c, To: c})
+		}
+		req.Predicates = append(req.Predicates, pred)
 	}
 	return req, false, nil
 }
@@ -273,6 +282,7 @@ func (q *Query) Clone() *Query {
 		tc := &out.TextConds[i]
 		tc.In = append([]string(nil), tc.In...)
 		tc.InCodes = append([]uint32(nil), tc.InCodes...)
+		tc.ExtraCodes = append([]uint32(nil), tc.ExtraCodes...)
 	}
 	return &out
 }

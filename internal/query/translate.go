@@ -54,9 +54,11 @@ func Translate(q *Query, dicts *dict.Set) (lookups int, err error) {
 			tc.FromCode, tc.ToCode = uint32(id), uint32(id)
 			continue
 		}
-		// Range predicate: bounded by two dictionary searches.
+		// Range predicate: bounded by two dictionary searches (plus a tail
+		// sweep on live append dictionaries, whose lexically in-range
+		// appended strings come back as extra point codes).
 		lookups += 2
-		lo, hi, empty, rerr := dicts.TranslateRange(tc.Column, tc.From, tc.To)
+		lo, hi, extra, empty, rerr := dicts.TranslateRangeExtra(tc.Column, tc.From, tc.To)
 		if rerr != nil {
 			return lookups, rerr
 		}
@@ -66,6 +68,7 @@ func Translate(q *Query, dicts *dict.Set) (lookups int, err error) {
 			continue
 		}
 		tc.FromCode, tc.ToCode = uint32(lo), uint32(hi)
+		tc.ExtraCodes = append([]uint32(nil), extra...)
 	}
 	return lookups, nil
 }

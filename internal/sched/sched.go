@@ -179,6 +179,9 @@ type Stats struct {
 	Translated      int64
 	PredictedLate   int64
 	RejectedQueries int64
+	// MaintenanceJobs counts background jobs (delta-stripe compaction)
+	// booked on the CPU processing queue via SubmitMaintenance.
+	MaintenanceJobs int64
 }
 
 // Scheduler owns the queue clocks and applies the configured policy. It is
@@ -262,6 +265,25 @@ func (s *Scheduler) Feedback(ref QueueRef, delta, now float64) {
 	if ref.Index >= 0 && ref.Index < len(s.tqGPU) {
 		adjust(&s.tqGPU[ref.Index])
 	}
+}
+
+// SubmitMaintenance books a background maintenance job (delta-stripe
+// compaction) of estSeconds on the CPU processing partition queue and
+// returns its window. Maintenance contends with query processing for the
+// same cores, so it must advance T_Q|CPU like any query — otherwise every
+// CPU placement made while a compaction runs would be optimistically
+// wrong. The caller reports actual-vs-estimated time through Feedback,
+// closing the same correction loop queries use.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
+func (s *Scheduler) SubmitMaintenance(now, estSeconds float64) (start, end float64) {
+	if estSeconds < 0 {
+		estSeconds = 0
+	}
+	start = clamp(s.tqCPU, now)
+	end = start + estSeconds
+	s.tqCPU = end
+	s.stats.MaintenanceJobs++
+	return start, end
 }
 
 // Peek runs the policy for a hypothetical submission without committing

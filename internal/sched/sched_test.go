@@ -535,3 +535,45 @@ func BenchmarkSubmitPaper(b *testing.B) {
 		}
 	}
 }
+
+func TestSubmitMaintenance(t *testing.T) {
+	s := newPaper(t, paperCfg())
+	// Idle queue: the job starts now and books its full estimate.
+	start, end := s.SubmitMaintenance(1.0, 0.25)
+	if start != 1.0 || end != 1.25 {
+		t.Fatalf("idle maintenance window = [%v,%v], want [1,1.25]", start, end)
+	}
+	if got := s.QueueClock(QueueRef{Kind: QueueCPU}); got != 1.25 {
+		t.Fatalf("CPU clock = %v, want 1.25", got)
+	}
+	// Busy queue: the job waits behind the booked work.
+	start, end = s.SubmitMaintenance(1.0, 0.1)
+	if start != 1.25 || end != 1.35 {
+		t.Fatalf("queued maintenance window = [%v,%v], want [1.25,1.35]", start, end)
+	}
+	// Negative estimates clamp to zero-width bookings.
+	start, end = s.SubmitMaintenance(1.0, -3)
+	if start != 1.35 || end != 1.35 {
+		t.Fatalf("negative estimate window = [%v,%v], want [1.35,1.35]", start, end)
+	}
+	if got := s.Stats().MaintenanceJobs; got != 3 {
+		t.Fatalf("MaintenanceJobs = %d, want 3", got)
+	}
+
+	// A query submitted after maintenance sees T_Q including the booked
+	// maintenance work — maintenance keeps the queue clock honest.
+	est := Estimates{CPUOK: true, CPUSeconds: 0.01, GPUSeconds: flatGPU(10, 10, 10)}
+	d, err := s.Submit(1.0, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Queue.Kind != QueueCPU || d.Start != 1.35 {
+		t.Fatalf("query after maintenance: %+v, want CPU start 1.35", d)
+	}
+
+	// Feedback on the CPU queue corrects over-estimated maintenance.
+	s.Feedback(QueueRef{Kind: QueueCPU}, -0.05, 1.0)
+	if got := s.QueueClock(QueueRef{Kind: QueueCPU}); math.Abs(got-1.31) > 1e-12 {
+		t.Fatalf("clock after feedback = %v, want 1.31", got)
+	}
+}

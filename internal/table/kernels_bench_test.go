@@ -138,7 +138,7 @@ func BenchmarkScanKernels(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := plan.rangeBatch(0, ft.Rows(), batch); err != nil {
+				if _, err := plan.rangeBatch(ScanResult{}, 0, ft.Rows(), batch); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,52 @@
+package table
+
+import "fmt"
+
+// Snapshot scans: the sequential reference kernels of the live table.
+// Each stripe is scanned with the vectorized plan, threading one running
+// accumulator across stripes in logical row order — RangeFrom for scalar
+// aggregates, RangeInto's shared destination map for grouped ones — so the
+// result is bit-identical to scanning a single table rebuilt from the
+// snapshot's rows, never merely tolerance-close. The differential epoch
+// tests pin the engine to exactly this property.
+
+// ScanSnapshot runs req over every stripe of the snapshot in order and
+// finalises, equivalent to Scan over a from-scratch rebuild of the
+// visible rows.
+func ScanSnapshot(snap *Snapshot, req ScanRequest) (ScanResult, error) {
+	acc := ScanResult{}
+	for _, st := range snap.Stripes() {
+		pl, err := BindScan(st.Table(), req)
+		if err != nil {
+			return ScanResult{}, err
+		}
+		acc, err = pl.RangeFrom(acc, 0, st.Rows())
+		if err != nil {
+			return ScanResult{}, err
+		}
+	}
+	return Finalize(req.Op, acc), nil
+}
+
+// GroupScanSnapshot runs the grouped req over every stripe of the
+// snapshot in order, accumulating into one destination map, and
+// finalises — equivalent to GroupScan over a from-scratch rebuild.
+func GroupScanSnapshot(snap *Snapshot, req GroupScanRequest) ([]GroupRow, error) {
+	if len(req.GroupBy) == 0 {
+		return nil, fmt.Errorf("table: grouped scan needs at least one group column")
+	}
+	if len(req.GroupBy) > MaxGroupCols {
+		return nil, fmt.Errorf("table: at most %d group columns (got %d)", MaxGroupCols, len(req.GroupBy))
+	}
+	g := make(Groups)
+	for _, st := range snap.Stripes() {
+		pl, err := BindGroupScan(st.Table(), req)
+		if err != nil {
+			return nil, err
+		}
+		if g, err = pl.RangeInto(0, st.Rows(), g); err != nil {
+			return nil, err
+		}
+	}
+	return FinalizeGroups(req.Op, g, len(req.GroupBy)), nil
+}

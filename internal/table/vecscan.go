@@ -224,12 +224,23 @@ func maxRun(acc float64, first bool, run []float64) float64 {
 // a partial result with the same pre-Finalize semantics as ScanRange.
 // Safe for concurrent use; allocates nothing in steady state.
 func (pl *ScanPlan) Range(lo, hi int) (ScanResult, error) {
-	return pl.rangeBatch(lo, hi, BatchSize)
+	return pl.rangeBatch(ScanResult{}, lo, hi, BatchSize)
 }
 
-// rangeBatch is Range with an explicit batch size (the microbenchmarks
-// sweep it; production callers always pass BatchSize).
-func (pl *ScanPlan) rangeBatch(lo, hi, batch int) (ScanResult, error) {
+// RangeFrom is Range seeded with a prior partial result: it continues
+// accumulating into acc as if the rows of [lo, hi) immediately followed
+// the rows acc already covers. Chaining consecutive stripes through one
+// accumulator is therefore bit-identical to a single Range over their
+// concatenation (continuous accumulation rounds like one long scan, not
+// like Merge over partial sums) — the property snapshot scans rely on to
+// match a from-scratch rebuild exactly.
+func (pl *ScanPlan) RangeFrom(acc ScanResult, lo, hi int) (ScanResult, error) {
+	return pl.rangeBatch(acc, lo, hi, BatchSize)
+}
+
+// rangeBatch is RangeFrom with an explicit batch size (the
+// microbenchmarks sweep it; production callers always pass BatchSize).
+func (pl *ScanPlan) rangeBatch(acc ScanResult, lo, hi, batch int) (ScanResult, error) {
 	if lo < 0 || hi > pl.rows || lo > hi {
 		return ScanResult{}, fmt.Errorf("table: scan range [%d,%d) outside [0,%d)", lo, hi, pl.rows)
 	}
@@ -240,27 +251,28 @@ func (pl *ScanPlan) rangeBatch(lo, hi, batch int) (ScanResult, error) {
 		batch = maxBatchSize
 	}
 	if pl.never {
-		return ScanResult{}, nil
+		return acc, nil
 	}
-	res := ScanResult{}
+	res := acc
 	if len(pl.preds) == 0 {
 		// No filtration: aggregate dense runs directly, no selection
 		// vector needed.
-		res.Rows = int64(hi - lo)
+		first := res.Rows == 0
+		res.Rows += int64(hi - lo)
 		switch pl.op {
 		case AggSum, AggAvg:
-			res.Value = sumRun(0, pl.meas[lo:hi])
+			res.Value = sumRun(res.Value, pl.meas[lo:hi])
 		case AggMin:
-			res.Value = minRun(0, true, pl.meas[lo:hi])
+			res.Value = minRun(res.Value, first, pl.meas[lo:hi])
 		case AggMax:
-			res.Value = maxRun(0, true, pl.meas[lo:hi])
+			res.Value = maxRun(res.Value, first, pl.meas[lo:hi])
 		}
 		return res, nil
 	}
 
 	sc := scanScratchPool.Get().(*scanScratch)
 	sel := sc.sel
-	first := true
+	first := res.Rows == 0
 	for base := lo; base < hi; base += batch {
 		n := hi - base
 		if n > batch {

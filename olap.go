@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"hybridolap/internal/engine"
+	"hybridolap/internal/ingest"
 	"hybridolap/internal/query"
 	"hybridolap/internal/sched"
 	"hybridolap/internal/table"
@@ -50,6 +51,15 @@ type Options struct {
 	Deadline time.Duration
 	// GPUOnly disables the CPU processing partition.
 	GPUOnly bool
+	// Live enables the streaming write path: the table becomes the base
+	// stripe of an ingest store, Ingest accepts row batches, queries pin
+	// epoch snapshots, and a background compactor folds delta stripes.
+	Live bool
+	// WALPath persists ingested batches to a crash-recoverable append log
+	// (implies Live); intact batches replay on Open.
+	WALPath string
+	// NoCompactor disables the background compactor in live mode.
+	NoCompactor bool
 }
 
 // DB is an open hybrid OLAP engine.
@@ -76,11 +86,47 @@ func Open(opts Options) (*DB, error) {
 	if opts.GPUOnly {
 		spec.Policy = sched.PolicyGPUOnly
 	}
+	spec.Live = opts.Live
+	spec.LiveWALPath = opts.WALPath
 	sys, err := engine.Setup(spec)
 	if err != nil {
 		return nil, err
 	}
+	if store := sys.Live(); store != nil && !opts.NoCompactor {
+		store.StartCompactor(ingest.CompactorConfig{})
+	}
 	return &DB{sys: sys}, nil
+}
+
+// Ingest appends a batch of rows to the live store (Options.Live) and
+// returns the epoch in which they became visible. Rows carry finest-level
+// integer coordinates, one float per measure and one raw string per text
+// column; strings the dictionaries have never seen are appended with
+// fresh stable codes.
+func (db *DB) Ingest(rows []table.Row) (epoch uint64, err error) {
+	snap, err := db.sys.Ingest(&ingest.Batch{Rows: rows})
+	if err != nil {
+		return 0, err
+	}
+	return snap.Epoch(), nil
+}
+
+// IngestStats reports ingest and compaction counters (zero value when the
+// database is not live).
+func (db *DB) IngestStats() ingest.Stats {
+	if store := db.sys.Live(); store != nil {
+		return store.Stats()
+	}
+	return ingest.Stats{}
+}
+
+// Close stops the background compactor, drains in-flight ingest and
+// flushes the append log. A static database closes trivially.
+func (db *DB) Close() error {
+	if store := db.sys.Live(); store != nil {
+		return store.Close()
+	}
+	return nil
 }
 
 // FromSystem wraps an already-assembled engine (advanced wiring: custom
@@ -199,7 +245,7 @@ func (db *DB) Explain(sql string) (*engine.Explanation, error) {
 func (db *DB) NewGenerator(cfg query.GenConfig) (*query.Generator, error) {
 	cfg.Schema = db.Schema()
 	if cfg.Dicts == nil {
-		cfg.Dicts = db.sys.Config().Table.Dicts()
+		cfg.Dicts = db.sys.Dicts()
 	}
 	return query.NewGenerator(cfg)
 }
