@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-check test race bench bench-smoke repro repro-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-check test test-chaos race bench bench-smoke repro repro-quick examples clean
 
 # Pre-merge checklist: `make all` runs build → vet → lint → test; run
 # `make race` as well before merging scheduler or simulator changes — the
@@ -34,6 +34,14 @@ lint-fix-check:
 
 test:
 	$(GO) test ./...
+
+# Fault-injection differential suite under the race detector: seeded
+# chaos plans (GPU kernel aborts, dictionary miss storms, WAL failures)
+# must never change an answer — completed queries stay bit-identical to
+# their fault-free placement and every acked ingest batch survives
+# recovery. See DESIGN.md "Fault model & degradation".
+test-chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./...
 
 race:
 	$(GO) test -race ./...

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	olapcli -rows 100000 -live
+//	olapcli -server localhost:8080
 //	> SELECT sum(sales) WHERE time.month BETWEEN 0 AND 11
 //	> \ingest 3,17,5 | 9.5,1 | acme corp, metropolis
 //	> \schema
 //	> \stats
 //	> \quit
+//
+// With -server the shell embeds no engine: every command becomes an HTTP
+// request against a running olapd, and non-2xx responses print with their
+// status code and body.
 package main
 
 import (
@@ -24,23 +29,44 @@ import (
 	"hybridolap/internal/table"
 )
 
+// session is what the REPL loop drives: either a local embedded engine or
+// a remote olapd reached over HTTP.
+type session interface {
+	query(sql string)
+	explain(sql string)
+	ingest(arg string)
+	schema()
+	stats()
+	close()
+}
+
 func main() {
 	var (
-		rows = flag.Int("rows", 100_000, "fact table rows")
-		seed = flag.Int64("seed", 1, "generation seed")
-		live = flag.Bool("live", false, "enable the streaming write path (\\ingest)")
-		wal  = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
+		rows   = flag.Int("rows", 100_000, "fact table rows")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		live   = flag.Bool("live", false, "enable the streaming write path (\\ingest)")
+		wal    = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
+		server = flag.String("server", "", "olapd address (e.g. localhost:8080); talk HTTP instead of embedding an engine")
 	)
 	flag.Parse()
 
-	fmt.Printf("building demo system (%d rows)...\n", *rows)
-	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "olapcli:", err)
-		os.Exit(1)
+	var sess session
+	if *server != "" {
+		r := newRemote(*server)
+		fmt.Printf("connected to %s\n", r.base)
+		sess = r
+	} else {
+		fmt.Printf("building demo system (%d rows)...\n", *rows)
+		db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapcli:", err)
+			os.Exit(1)
+		}
+		sess = &local{db: db}
 	}
-	// Stops the compactor and flushes the append log on \quit or EOF.
-	defer db.Close()
+	// Locally: stops the compactor and flushes the append log on \quit
+	// or EOF. Remotely: a no-op.
+	defer sess.close()
 	fmt.Println("ready. \\help for commands.")
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -54,23 +80,38 @@ func main() {
 		case line == `\help`:
 			printHelp()
 		case line == `\schema`:
-			printSchema(db)
+			sess.schema()
 		case line == `\stats`:
-			printStats(db)
+			sess.stats()
 		case strings.HasPrefix(line, `\ingest `):
-			runIngest(db, strings.TrimPrefix(line, `\ingest `))
+			sess.ingest(strings.TrimPrefix(line, `\ingest `))
 		case strings.HasPrefix(line, `\explain `):
-			ex, err := db.Explain(strings.TrimPrefix(line, `\explain `))
-			if err != nil {
-				fmt.Println("error:", err)
-			} else {
-				fmt.Println(ex)
-			}
+			sess.explain(strings.TrimPrefix(line, `\explain `))
 		default:
-			runQuery(db, line)
+			sess.query(line)
 		}
 		fmt.Print("> ")
 	}
+}
+
+// local answers every REPL command from an embedded engine.
+type local struct {
+	db *olap.DB
+}
+
+func (l *local) query(sql string)  { runQuery(l.db, sql) }
+func (l *local) schema()           { printSchema(l.db) }
+func (l *local) stats()            { printStats(l.db) }
+func (l *local) ingest(arg string) { runIngest(l.db, arg) }
+func (l *local) close()            { l.db.Close() }
+
+func (l *local) explain(sql string) {
+	ex, err := l.db.Explain(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(ex)
 }
 
 func printHelp() {
@@ -90,26 +131,24 @@ commands:
 `)
 }
 
-func runIngest(db *olap.DB, arg string) {
+// parseRow turns "coords | measures [| texts]" into one fact row.
+func parseRow(arg string) (table.Row, error) {
 	parts := strings.Split(arg, "|")
 	if len(parts) != 2 && len(parts) != 3 {
-		fmt.Println(`usage: \ingest <coords> | <measures> [| <texts>]`)
-		return
+		return table.Row{}, fmt.Errorf(`usage: \ingest <coords> | <measures> [| <texts>]`)
 	}
 	row := table.Row{}
 	for _, f := range strings.Split(parts[0], ",") {
 		c, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			fmt.Println("error: bad coordinate:", err)
-			return
+			return table.Row{}, fmt.Errorf("bad coordinate: %w", err)
 		}
 		row.Coords = append(row.Coords, c)
 	}
 	for _, f := range strings.Split(parts[1], ",") {
 		m, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
-			fmt.Println("error: bad measure:", err)
-			return
+			return table.Row{}, fmt.Errorf("bad measure: %w", err)
 		}
 		row.Measures = append(row.Measures, m)
 	}
@@ -117,6 +156,15 @@ func runIngest(db *olap.DB, arg string) {
 		for _, f := range strings.Split(parts[2], ",") {
 			row.Texts = append(row.Texts, strings.TrimSpace(f))
 		}
+	}
+	return row, nil
+}
+
+func runIngest(db *olap.DB, arg string) {
+	row, err := parseRow(arg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
 	}
 	epoch, err := db.Ingest([]table.Row{row})
 	if err != nil {

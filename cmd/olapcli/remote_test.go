@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestRemoteCallSurfacesErrors pins the -server error contract: non-2xx
+// responses turn into errors carrying the status code, its name, the body
+// and any Retry-After hint.
+func TestRemoteCallSurfacesErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"no such measure"}`))
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server saturated"}`))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"submitted":0}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	r := newRemote(strings.TrimPrefix(ts.URL, "http://"))
+
+	_, err := r.call(http.MethodPost, "/query", map[string]string{"sql": "frob"})
+	if err == nil {
+		t.Fatal("422 produced no error")
+	}
+	for _, want := range []string{"HTTP 422", "Unprocessable Entity", "no such measure"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("422 error %q missing %q", err, want)
+		}
+	}
+
+	_, err = r.call(http.MethodPost, "/ingest", map[string]string{})
+	if err == nil {
+		t.Fatal("429 produced no error")
+	}
+	for _, want := range []string{"HTTP 429", "retry after 1s", "server saturated"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("429 error %q missing %q", err, want)
+		}
+	}
+
+	// 2xx passes the body through untouched.
+	b, err := r.call(http.MethodGet, "/stats", nil)
+	if err != nil || string(b) != `{"submitted":0}` {
+		t.Fatalf("call = %q, %v", b, err)
+	}
+}

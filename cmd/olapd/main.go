@@ -24,11 +24,13 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		rows = flag.Int("rows", 100_000, "fact table rows")
-		seed = flag.Int64("seed", 1, "generation seed")
-		live = flag.Bool("live", false, "enable the streaming write path (POST /ingest)")
-		wal  = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		rows     = flag.Int("rows", 100_000, "fact table rows")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		live     = flag.Bool("live", false, "enable the streaming write path (POST /ingest)")
+		wal      = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
+		inflight = flag.Int("max-inflight", defaultMaxInflight, "concurrent /query, /explain and /ingest requests")
+		queued   = flag.Int("max-queue", defaultMaxQueued, "requests that may wait for a slot before 429s")
 	)
 	flag.Parse()
 
@@ -37,7 +39,16 @@ func main() {
 	if err != nil {
 		log.Fatal("olapd: ", err)
 	}
-	srv := &http.Server{Addr: *addr, Handler: newMux(db)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(db, *inflight, *queued).mux(),
+		// A slow or stalled client must not pin a connection (and, for the
+		// expensive endpoints, an execution slot) forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	// SIGINT/SIGTERM start a graceful shutdown: stop accepting, let
 	// in-flight requests (including ingest) finish, then drain the store

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	olap "hybridolap"
+	"hybridolap/internal/fault"
+)
+
+// TestAdmissionControl429 drives the admission layer deterministically: a
+// server with one execution slot and a zero-length wait queue sheds load
+// with 429 + Retry-After while the slot is held, and recovers to 200 the
+// moment it frees — no restart, no timing races.
+func TestAdmissionControl429(t *testing.T) {
+	db, err := olap.Open(olap.Options{Rows: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(db, 1, 0)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+
+	// Occupy the only slot as a stand-in for a long-running query.
+	srv.inflight <- struct{}{}
+
+	for _, path := range []string{"/query", "/explain", "/ingest"} {
+		resp, err := http.Post(ts.URL+path, "application/json",
+			strings.NewReader(`{"sql":"SELECT count(*)"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s while saturated = %d, want 429", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s 429 carries no Retry-After", path)
+		}
+	}
+	// Cheap endpoints are never shed.
+	if code := get(t, ts, "/healthz", nil); code != 200 {
+		t.Fatalf("healthz while saturated = %d", code)
+	}
+
+	// The slot frees; the very next request succeeds.
+	<-srv.inflight
+	var v queryResponse
+	if code := postQuery(t, ts, `{"sql":"SELECT count(*)"}`, &v); code != 200 {
+		t.Fatalf("query after recovery = %d, want 200", code)
+	}
+	if v.Rows == nil || *v.Rows != 2000 {
+		t.Fatalf("recovered query = %+v", v)
+	}
+}
+
+// TestDegradedIngest503 breaks the WAL under the server: the failing batch
+// and every later write answer 503, reads and liveness keep working, and
+// /healthz + /stats report the degradation.
+func TestDegradedIngest503(t *testing.T) {
+	plan := fault.NewPlan(fault.PlanConfig{Seed: 42, Points: map[fault.Point]fault.PointConfig{
+		fault.WALAppend: {Rate: 1},
+	}})
+	db, err := olap.Open(olap.Options{
+		Rows: 2000, Seed: 5, Live: true,
+		WALPath:   filepath.Join(t.TempDir(), "ingest.wal"),
+		FaultPlan: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	ts := httptest.NewServer(newMux(db))
+	t.Cleanup(ts.Close)
+
+	body := `{"rows":[{"coords":[0,0,0],"measures":[1,1],"texts":["a corp","b"]}]}`
+	// The durability failure itself and all writes after it: 503.
+	for i := 0; i < 2; i++ {
+		if code := post(t, ts, "/ingest", body, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("ingest %d on broken WAL = %d, want 503", i, code)
+		}
+	}
+	// Reads are unaffected by a read-only store.
+	var v queryResponse
+	if code := postQuery(t, ts, `{"sql":"SELECT count(*)"}`, &v); code != 200 {
+		t.Fatalf("query while degraded = %d", code)
+	}
+	if v.Rows == nil || *v.Rows != 2000 {
+		t.Fatalf("degraded-store count = %+v", v)
+	}
+	var h map[string]string
+	if code := get(t, ts, "/healthz", &h); code != 200 || h["status"] != "degraded" {
+		t.Fatalf("healthz while degraded = %d %v", code, h)
+	}
+	var st statsResponse
+	get(t, ts, "/stats", &st)
+	if st.Ingest == nil || !st.Ingest.Degraded {
+		t.Fatalf("stats.ingest = %+v, want degraded", st.Ingest)
+	}
+}
+
+// TestStatsPartitionHealth checks the health snapshot reaches the API: a
+// fresh server reports every GPU partition healthy.
+func TestStatsPartitionHealth(t *testing.T) {
+	ts := testServer(t)
+	var st statsResponse
+	if code := get(t, ts, "/stats", &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if len(st.PartitionHealth) != 6 {
+		t.Fatalf("partition_health = %v, want 6 entries", st.PartitionHealth)
+	}
+	for i, h := range st.PartitionHealth {
+		if h != "healthy" {
+			t.Fatalf("partition %d = %q, want healthy", i, h)
+		}
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	olap "hybridolap"
+	"hybridolap/internal/ingest"
 	"hybridolap/internal/table"
 )
 
@@ -17,10 +19,53 @@ import (
 // ingest batch fits well under 8 MiB. Larger bodies get 413.
 const maxBodyBytes = 8 << 20
 
+// Admission-control defaults: how many expensive requests (/query,
+// /explain, /ingest) may execute at once, and how many more may wait for
+// a slot before the server starts shedding load with 429s.
+const (
+	defaultMaxInflight = 64
+	defaultMaxQueued   = 128
+)
+
 // server wraps a DB with the HTTP API.
 type server struct {
 	db *olap.DB
+	// inflight is the execution-slot semaphore for the expensive
+	// endpoints; queued counts requests waiting for a slot. Past the
+	// maxQueued watermark new arrivals are rejected with 429.
+	inflight  chan struct{}
+	queued    atomic.Int64
+	maxQueued int64
 }
+
+// admit reserves an execution slot, queueing up to the watermark. It
+// reports whether the handler may proceed; on false the response (429
+// with Retry-After, or nothing if the client vanished) has been written.
+// Callers that got true must call release.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queued.Add(1) > s.maxQueued {
+		s.queued.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Errorf("server saturated: %d requests in flight and %d queued", cap(s.inflight), s.maxQueued))
+		return false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// Client gave up while queued; nothing useful to write.
+		return false
+	}
+}
+
+func (s *server) release() { <-s.inflight }
 
 // newMux builds the API routes:
 //
@@ -31,7 +76,25 @@ type server struct {
 //	POST /explain       {"sql": "..."} -> estimates + hypothetical placement
 //	POST /ingest        {"rows": [...]} -> epoch the batch became visible in
 func newMux(db *olap.DB) *http.ServeMux {
-	s := &server{db: db}
+	return newServer(db, defaultMaxInflight, defaultMaxQueued).mux()
+}
+
+// newServer builds the handler with explicit admission-control limits.
+func newServer(db *olap.DB, maxInflight, maxQueued int) *server {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	return &server{
+		db:        db,
+		inflight:  make(chan struct{}, maxInflight),
+		maxQueued: int64(maxQueued),
+	}
+}
+
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/schema", s.handleSchema)
@@ -80,7 +143,13 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Liveness stays 200 even degraded — the process is up and queries
+	// work; the status string says the write path is gone.
+	status := "ok"
+	if s.db.Degraded() {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
 type schemaLevel struct {
@@ -131,27 +200,41 @@ type ingestStats struct {
 	CompactedRows    int64  `json:"compacted_rows"`
 	WALRecords       int64  `json:"wal_records"`
 	WALBytes         int64  `json:"wal_bytes"`
+	Degraded         bool   `json:"degraded"`
+	CompactFailures  int64  `json:"compaction_failures"`
 }
 
 type statsResponse struct {
-	Submitted       int64        `json:"submitted"`
-	ToCPU           int64        `json:"to_cpu"`
-	ToGPU           []int64      `json:"to_gpu"`
-	Translated      int64        `json:"translated"`
-	PredictedLate   int64        `json:"predicted_late"`
-	MaintenanceJobs int64        `json:"maintenance_jobs"`
-	Ingest          *ingestStats `json:"ingest,omitempty"`
+	Submitted         int64        `json:"submitted"`
+	Resubmitted       int64        `json:"resubmitted"`
+	ToCPU             int64        `json:"to_cpu"`
+	ToGPU             []int64      `json:"to_gpu"`
+	Translated        int64        `json:"translated"`
+	PredictedLate     int64        `json:"predicted_late"`
+	MaintenanceJobs   int64        `json:"maintenance_jobs"`
+	PartitionFailures int64        `json:"partition_failures"`
+	Quarantines       int64        `json:"quarantines"`
+	Reprobes          int64        `json:"reprobes"`
+	PartitionHealth   []string     `json:"partition_health"`
+	Ingest            *ingestStats `json:"ingest,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.System().Scheduler().Stats()
 	resp := statsResponse{
-		Submitted:       st.Submitted,
-		ToCPU:           st.ToCPU,
-		ToGPU:           st.ToGPU,
-		Translated:      st.Translated,
-		PredictedLate:   st.PredictedLate,
-		MaintenanceJobs: st.MaintenanceJobs,
+		Submitted:         st.Submitted,
+		Resubmitted:       st.Resubmitted,
+		ToCPU:             st.ToCPU,
+		ToGPU:             st.ToGPU,
+		Translated:        st.Translated,
+		PredictedLate:     st.PredictedLate,
+		MaintenanceJobs:   st.MaintenanceJobs,
+		PartitionFailures: st.PartitionFailures,
+		Quarantines:       st.Quarantines,
+		Reprobes:          st.Reprobes,
+	}
+	for _, h := range s.db.System().Scheduler().HealthStates() {
+		resp.PartitionHealth = append(resp.PartitionHealth, h.String())
 	}
 	if s.db.System().Live() != nil {
 		ist := s.db.IngestStats()
@@ -168,6 +251,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CompactedRows:    ist.CompactedRows,
 			WALRecords:       ist.WALRecords,
 			WALBytes:         ist.WALBytes,
+			Degraded:         ist.Degraded,
+			CompactFailures:  ist.CompactionFailures,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -189,6 +274,10 @@ type ingestResponse struct {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
 	var req ingestRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -203,6 +292,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, err := s.db.Ingest(rows)
 	if err != nil {
+		// Durability failures (the batch that broke the WAL, and every
+		// write after the store flipped read-only) are the server's fault,
+		// not the request's: 503, retry against a recovered instance.
+		var durability *ingest.DurabilityError
+		if errors.Is(err, ingest.ErrDegraded) || errors.As(err, &durability) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -241,6 +338,10 @@ type explainResponse struct {
 }
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
 	var req queryRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -265,6 +366,10 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.release()
 	var req queryRequest
 	if !decodeBody(w, r, &req) {
 		return

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"hybridolap/internal/cube"
+	"hybridolap/internal/fault"
 	"hybridolap/internal/gpusim"
 	"hybridolap/internal/ingest"
 	"hybridolap/internal/perfmodel"
@@ -62,6 +63,14 @@ type Config struct {
 	// CPU path aggregates the pinned epoch's incrementally maintained cube
 	// set. Table must be the store's base-stripe table (the epoch-0 base).
 	Live *ingest.Store
+	// Faults installs a chaos plan: the device consults it at every kernel
+	// launch (fault.GPUExec) and the translation path at every dictionary
+	// lookup batch (fault.DictLookup). Nil runs fault-free.
+	Faults *fault.Plan
+	// MaxRetries bounds how many times a failed GPU attempt is re-booked
+	// through the scheduler before the query is reported failed (default 2;
+	// negative disables retries).
+	MaxRetries int
 }
 
 // System is a runnable hybrid OLAP engine.
@@ -113,6 +122,12 @@ func New(cfg Config) (*System, error) {
 			len(ls.Texts) != len(ts.Texts) {
 			return nil, fmt.Errorf("engine: live store schema does not match the device table")
 		}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.Faults != nil {
+		cfg.Device.SetFaults(cfg.Faults)
 	}
 	cfg.Sched.GPUWidths = widths
 	s, err := sched.New(cfg.Sched)

@@ -77,7 +77,9 @@ func (s *System) ReferenceGroups(q *query.Query) ([]table.GroupRow, error) {
 // RunGrouped schedules one grouped query with the Fig. 10 algorithm (its
 // estimates already include the grouping columns in C_QD) and executes it
 // synchronously on the chosen partition. Grouped queries are interactive
-// drill-downs, so the synchronous path matches how they are used.
+// drill-downs, so the synchronous path matches how they are used: a
+// failed GPU attempt reports partition health and is re-booked inline
+// (same absolute deadline) until the retry budget runs out.
 func (s *System) RunGrouped(q *query.Query) ([]table.GroupRow, string, error) {
 	qq := q.Clone()
 	est, err := s.Estimate(qq)
@@ -91,15 +93,38 @@ func (s *System) RunGrouped(q *query.Query) ([]table.GroupRow, string, error) {
 		return nil, "", err
 	}
 	snap := s.pin() // bind-time epoch: stable across translation + scan
-	if est.NeedsTranslation {
-		if _, err := query.Translate(qq, s.dicts()); err != nil {
+	for attempt := 0; ; attempt++ {
+		if qq.NeedsTranslation() {
+			if _, err := query.Translate(qq, s.dicts()); err != nil {
+				return nil, "", err
+			}
+		}
+		if d.Queue.Kind == sched.QueueCPU {
+			rows, err := s.answerGroupsOnCPUAt(qq, snap)
+			return rows, "cpu", err
+		}
+		rows, err := s.AnswerGroupsOnGPUAt(qq, d.Queue.Index, snap)
+		if err == nil {
+			s.schedMu.Lock()
+			s.scheduler.ReportSuccess(d.Queue)
+			s.schedMu.Unlock()
+			return rows, d.Queue.String(), nil
+		}
+		s.schedMu.Lock()
+		s.scheduler.ReportFailure(d.Queue, 0)
+		s.schedMu.Unlock()
+		if attempt+1 >= 1+s.retries() {
+			return nil, d.Queue.String(), err
+		}
+		est.NeedsTranslation = qq.NeedsTranslation()
+		if !est.NeedsTranslation {
+			est.TransSeconds = 0
+		}
+		s.schedMu.Lock()
+		d, err = s.scheduler.Resubmit(0, d.Deadline, est)
+		s.schedMu.Unlock()
+		if err != nil {
 			return nil, "", err
 		}
 	}
-	if d.Queue.Kind == sched.QueueCPU {
-		rows, err := s.answerGroupsOnCPUAt(qq, snap)
-		return rows, "cpu", err
-	}
-	rows, err := s.AnswerGroupsOnGPUAt(qq, d.Queue.Index, snap)
-	return rows, d.Queue.String(), err
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridolap/internal/cube"
+	"hybridolap/internal/fault"
 	"hybridolap/internal/gpusim"
 	"hybridolap/internal/ingest"
 	"hybridolap/internal/perfmodel"
@@ -32,6 +33,10 @@ type SetupSpec struct {
 	Placement       sched.Placement
 	Translation     sched.TranslationMode
 	DisableFeedback bool
+	// QuarantineThreshold and ReprobeSeconds configure the scheduler's
+	// partition-health layer (defaults: 3 consecutive failures, 5 s).
+	QuarantineThreshold int
+	ReprobeSeconds      float64
 	// Layout overrides the GPU partition layout (default PaperLayout).
 	Layout []int
 	// Estimator overrides the performance models (default paper models).
@@ -47,6 +52,13 @@ type SetupSpec struct {
 	// log at this path (implies Live); on startup every intact logged
 	// batch is replayed.
 	LiveWALPath string
+	// Faults installs a seeded chaos plan across the whole stack: GPU
+	// kernel launches, dictionary translation, the live store's WAL and
+	// compaction all consult it. Nil runs fault-free.
+	Faults *fault.Plan
+	// MaxRetries bounds re-booking of failed GPU attempts (default 2;
+	// negative disables retries).
+	MaxRetries int
 }
 
 // Setup generates the fact table on the paper schema, loads it into a
@@ -105,6 +117,7 @@ func Setup(spec SetupSpec) (*System, error) {
 			Base:    ft,
 			Cubes:   cs,
 			WALPath: spec.LiveWALPath,
+			Faults:  spec.Faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: opening ingest store: %w", err)
@@ -119,12 +132,16 @@ func Setup(spec SetupSpec) (*System, error) {
 		CPUThreads:      spec.CPUThreads,
 		VirtualDictLens: spec.VirtualDictLens,
 		Live:            store,
+		Faults:          spec.Faults,
+		MaxRetries:      spec.MaxRetries,
 		Sched: sched.Config{
-			DeadlineSeconds: spec.DeadlineSeconds,
-			Policy:          spec.Policy,
-			Placement:       spec.Placement,
-			Translation:     spec.Translation,
-			DisableFeedback: spec.DisableFeedback,
+			DeadlineSeconds:     spec.DeadlineSeconds,
+			Policy:              spec.Policy,
+			Placement:           spec.Placement,
+			Translation:         spec.Translation,
+			DisableFeedback:     spec.DisableFeedback,
+			QuarantineThreshold: spec.QuarantineThreshold,
+			ReprobeSeconds:      spec.ReprobeSeconds,
 		},
 	})
 	if err != nil {

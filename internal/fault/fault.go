@@ -1,0 +1,205 @@
+// Package fault is the deterministic chaos layer of the hybrid OLAP
+// system: a seeded plan of injectable faults that the execution stack
+// consults at well-defined points — GPU kernel launch, dictionary
+// translation, WAL append/fsync, delta-stripe compaction.
+//
+// Determinism is the point. Each fault point draws from its own
+// *rand.Rand stream derived from the plan seed, so the decision sequence
+// at a point is a pure function of (seed, crossing index) no matter how
+// goroutines interleave across points. The same plan therefore produces
+// the same faults run after run, which is what lets the chaos
+// differential test assert bit-identical results against a fault-free
+// reference instead of merely "it didn't crash".
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Point identifies one injectable fault site in the stack.
+type Point int
+
+const (
+	// GPUExec fires at kernel launch on a GPU partition: the job aborts
+	// (after an optional injected stall), modelling a stalled or failed
+	// partition.
+	GPUExec Point = iota
+	// DictLookup fires at text-to-integer translation, modelling a
+	// dictionary miss storm that fails the translation step.
+	DictLookup
+	// WALAppend fires at write-ahead-log record append (a write error).
+	WALAppend
+	// WALSync fires at WAL fsync.
+	WALSync
+	// Compaction fires at delta-stripe compaction, failing the merge.
+	Compaction
+
+	numPoints
+)
+
+// String names the point.
+func (p Point) String() string {
+	switch p {
+	case GPUExec:
+		return "gpu-exec"
+	case DictLookup:
+		return "dict-lookup"
+	case WALAppend:
+		return "wal-append"
+	case WALSync:
+		return "wal-sync"
+	case Compaction:
+		return "compaction"
+	default:
+		return fmt.Sprintf("Point(%d)", int(p))
+	}
+}
+
+// ErrInjected is the sentinel every injected fault wraps; callers that
+// only care whether a failure was chaos-made test errors.Is(err,
+// fault.ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// Error is one injected fault occurrence.
+type Error struct {
+	// Point is the fault site that fired.
+	Point Point
+	// Part is the GPU partition index for GPUExec, -1 elsewhere.
+	Part int
+	// Seq is the 1-based firing count at this point, for log correlation.
+	Seq int64
+}
+
+// Error renders "fault: injected fault at gpu-exec[3] (#2)".
+func (e *Error) Error() string {
+	if e.Part >= 0 {
+		return fmt.Sprintf("fault: %v at %v[%d] (#%d)", ErrInjected, e.Point, e.Part, e.Seq)
+	}
+	return fmt.Sprintf("fault: %v at %v (#%d)", ErrInjected, e.Point, e.Seq)
+}
+
+// Unwrap ties Error into errors.Is(err, ErrInjected).
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// PointConfig drives one fault point in a plan. The zero value never
+// fires.
+type PointConfig struct {
+	// Rate is the probability in [0,1] that a crossing of this point
+	// fires a fault.
+	Rate float64
+	// After skips the first After crossings before Rate applies, so a
+	// run can establish healthy behaviour first.
+	After int64
+	// Limit caps the number of faults this point fires; 0 means
+	// unlimited.
+	Limit int64
+	// Stall delays the crossing by this duration before the fault is
+	// returned (GPUExec: a stalled kernel rather than a fast abort).
+	// Applied only on firings.
+	Stall time.Duration
+}
+
+// PlanConfig seeds a Plan.
+type PlanConfig struct {
+	// Seed derives every per-point random stream.
+	Seed int64
+	// Points configures each fault site; absent points never fire.
+	Points map[Point]PointConfig
+}
+
+// pointState is one fault site's independent decision stream.
+type pointState struct {
+	mu        sync.Mutex
+	cfg       PointConfig
+	rng       *rand.Rand
+	crossings int64
+	fired     int64
+}
+
+// Plan is a seeded, concurrency-safe fault schedule. A nil *Plan is the
+// fault-free plan: every Check returns nil.
+type Plan struct {
+	points [numPoints]pointState
+}
+
+// NewPlan builds a plan from the config. Each point owns a rand stream
+// derived from (Seed, point index), so firing sequences per point are
+// reproducible independent of cross-point interleaving.
+func NewPlan(cfg PlanConfig) *Plan {
+	p := &Plan{}
+	for i := range p.points {
+		pc := cfg.Points[Point(i)]
+		p.points[i].cfg = pc
+		p.points[i].rng = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+	}
+	return p
+}
+
+// Check records one crossing of the point and returns an *Error when the
+// plan fires a fault there, nil otherwise. part is the GPU partition
+// index at GPUExec and -1 elsewhere. Check on a nil plan is free and
+// never fires.
+func (p *Plan) Check(pt Point, part int) error {
+	if p == nil || pt < 0 || pt >= numPoints {
+		return nil
+	}
+	st := &p.points[pt]
+	st.mu.Lock()
+	st.crossings++
+	fire := false
+	if st.cfg.Rate > 0 &&
+		st.crossings > st.cfg.After &&
+		(st.cfg.Limit == 0 || st.fired < st.cfg.Limit) &&
+		st.rng.Float64() < st.cfg.Rate {
+		fire = true
+		st.fired++
+	}
+	seq := st.fired
+	stall := st.cfg.Stall
+	st.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	return &Error{Point: pt, Part: part, Seq: seq}
+}
+
+// Fired returns how many faults the point has injected so far.
+func (p *Plan) Fired(pt Point) int64 {
+	if p == nil || pt < 0 || pt >= numPoints {
+		return 0
+	}
+	st := &p.points[pt]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fired
+}
+
+// Crossings returns how many times the point has been consulted.
+func (p *Plan) Crossings(pt Point) int64 {
+	if p == nil || pt < 0 || pt >= numPoints {
+		return 0
+	}
+	st := &p.points[pt]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.crossings
+}
+
+// TotalFired sums faults injected across every point.
+func (p *Plan) TotalFired() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for i := Point(0); i < numPoints; i++ {
+		n += p.Fired(i)
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// drive records the fire/no-fire decision sequence of one point.
+func drive(p *Plan, pt Point, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.Check(pt, -1) != nil
+	}
+	return out
+}
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	for i := 0; i < 100; i++ {
+		if err := p.Check(GPUExec, 0); err != nil {
+			t.Fatal("nil plan fired")
+		}
+	}
+	if p.Fired(GPUExec) != 0 || p.Crossings(GPUExec) != 0 || p.TotalFired() != 0 {
+		t.Fatal("nil plan has non-zero counters")
+	}
+}
+
+func TestSameSeedSameSequence(t *testing.T) {
+	cfg := PlanConfig{Seed: 7, Points: map[Point]PointConfig{
+		GPUExec:   {Rate: 0.3},
+		WALAppend: {Rate: 0.5},
+	}}
+	a := drive(NewPlan(cfg), GPUExec, 500)
+	b := drive(NewPlan(cfg), GPUExec, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically seeded plans", i)
+		}
+	}
+}
+
+func TestPointStreamsAreIndependent(t *testing.T) {
+	cfg := PlanConfig{Seed: 7, Points: map[Point]PointConfig{
+		GPUExec:   {Rate: 0.3},
+		WALAppend: {Rate: 0.3},
+	}}
+	// Plan A: GPUExec alone. Plan B: WALAppend crossings interleaved.
+	// GPUExec's decision sequence must not change.
+	a := drive(NewPlan(cfg), GPUExec, 200)
+	pb := NewPlan(cfg)
+	b := make([]bool, 200)
+	for i := range b {
+		_ = pb.Check(WALAppend, -1)
+		b[i] = pb.Check(GPUExec, -1) != nil
+		_ = pb.Check(WALAppend, -1)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("GPUExec decision %d perturbed by WALAppend crossings", i)
+		}
+	}
+}
+
+func TestRateZeroAndOne(t *testing.T) {
+	p := NewPlan(PlanConfig{Seed: 1, Points: map[Point]PointConfig{
+		GPUExec:    {Rate: 1},
+		DictLookup: {Rate: 0},
+	}})
+	for i := 0; i < 50; i++ {
+		if p.Check(GPUExec, 2) == nil {
+			t.Fatal("rate-1 point did not fire")
+		}
+		if p.Check(DictLookup, -1) != nil {
+			t.Fatal("rate-0 point fired")
+		}
+	}
+	if p.Fired(GPUExec) != 50 || p.Fired(DictLookup) != 0 {
+		t.Fatalf("counters: %d / %d", p.Fired(GPUExec), p.Fired(DictLookup))
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	p := NewPlan(PlanConfig{Seed: 1, Points: map[Point]PointConfig{
+		WALAppend: {Rate: 1, After: 3, Limit: 2},
+	}})
+	var fires []int
+	for i := 0; i < 10; i++ {
+		if p.Check(WALAppend, -1) != nil {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 4 {
+		t.Fatalf("After=3 Limit=2 fired at %v", fires)
+	}
+}
+
+func TestErrorShapeAndSentinel(t *testing.T) {
+	p := NewPlan(PlanConfig{Seed: 1, Points: map[Point]PointConfig{
+		GPUExec: {Rate: 1},
+	}})
+	err := p.Check(GPUExec, 4)
+	if err == nil {
+		t.Fatal("no fault")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("injected fault does not unwrap to ErrInjected")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatal("injected fault is not a *fault.Error")
+	}
+	if fe.Point != GPUExec || fe.Part != 4 || fe.Seq != 1 {
+		t.Fatalf("error fields: %+v", fe)
+	}
+	if got := fe.Error(); got == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestConcurrentChecksAreSafe(t *testing.T) {
+	p := NewPlan(PlanConfig{Seed: 9, Points: map[Point]PointConfig{
+		GPUExec:   {Rate: 0.5},
+		WALAppend: {Rate: 0.5},
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = p.Check(GPUExec, g)
+				_ = p.Check(WALAppend, -1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Crossings(GPUExec); got != 1600 {
+		t.Fatalf("GPUExec crossings = %d, want 1600", got)
+	}
+	if p.TotalFired() == 0 {
+		t.Fatal("no faults fired at rate 0.5")
+	}
+}

@@ -24,6 +24,7 @@ package gpusim
 import (
 	"fmt"
 
+	"hybridolap/internal/fault"
 	"hybridolap/internal/perfmodel"
 	"hybridolap/internal/table"
 )
@@ -59,6 +60,7 @@ type Device struct {
 	spec       DeviceSpec
 	ft         *table.FactTable
 	partitions []*Partition
+	faults     *fault.Plan
 }
 
 // NewDevice validates the spec and returns an unpartitioned device.
@@ -122,6 +124,18 @@ func (d *Device) Partition(layout []int) error {
 
 // Partitions returns the installed partitions.
 func (d *Device) Partitions() []*Partition { return d.partitions }
+
+// SetFaults installs the chaos plan every partition consults at kernel
+// launch (fault.GPUExec); nil runs fault-free. Install during wiring,
+// before queries are served — the field is not synchronised.
+func (d *Device) SetFaults(p *fault.Plan) { d.faults = p }
+
+// faultCheck crosses the GPUExec fault point for one partition. A fired
+// fault models a stalled or aborted kernel: the injected error surfaces
+// to the engine's retry path exactly like a real execution failure.
+func (d *Device) faultCheck(partition int) error {
+	return d.faults.Check(fault.GPUExec, partition)
+}
 
 // EstimateSeconds evaluates P_GPU for a partition width: the estimated
 // service time of a query touching cols of totalCols columns.

@@ -14,6 +14,9 @@ import (
 // stripe), a parallel reduction merges them, and the finalised per-group
 // rows return sorted by key.
 func (p *Partition) ExecuteGroup(req table.GroupScanRequest) ([]table.GroupRow, error) {
+	if err := p.dev.faultCheck(p.id); err != nil {
+		return nil, err
+	}
 	ft := p.dev.ft
 	if ft == nil {
 		return nil, fmt.Errorf("gpusim: no table loaded")

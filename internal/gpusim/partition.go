@@ -52,13 +52,20 @@ func (p *Partition) EstimateSeconds(cols, totalCols int) (float64, error) {
 //	         SMs×StripesPerSM stripes; one goroutine per SM drains
 //	         stripes from a shared index, running the vectorized batch
 //	         kernel and accumulating thread-local intermediate values;
-//	step 3 — parallel reduction: per-SM partials merge pairwise;
+//	step 3 — parallel reduction: per-stripe partials merge in stripe
+//	         order — a deterministic reduction, so the same request on
+//	         the same partition returns bit-identical results no matter
+//	         how the SMs interleave (retries and chaos differentials
+//	         depend on this);
 //	step 4 — final aggregation: the finalised aggregate is returned to
 //	         the caller (the CPU side).
 //
 // CPU preprocessing (query decomposition and text translation) happens
 // before Execute is called.
 func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
+	if err := p.dev.faultCheck(p.id); err != nil {
+		return table.ScanResult{}, err
+	}
 	ft := p.dev.ft
 	if ft == nil {
 		return table.ScanResult{}, fmt.Errorf("gpusim: no table loaded")
@@ -83,7 +90,7 @@ func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 
 	stripeLen := (rows + stripes - 1) / stripes
 	var next int64 // shared stripe cursor
-	partials := make([]table.ScanResult, p.sms)
+	partials := make([]table.ScanResult, stripes)
 	errs := make([]error, p.sms)
 	var wg sync.WaitGroup
 	var nextMu sync.Mutex
@@ -101,7 +108,6 @@ func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 		wg.Add(1)
 		go func(sm int) {
 			defer wg.Done()
-			var acc table.ScanResult
 			for {
 				s := takeStripe()
 				if s < 0 {
@@ -120,9 +126,8 @@ func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 					errs[sm] = err
 					return
 				}
-				acc = table.Merge(req.Op, acc, part)
+				partials[s] = part
 			}
-			partials[sm] = acc
 		}(sm)
 	}
 	wg.Wait()
@@ -131,7 +136,9 @@ func (p *Partition) Execute(req table.ScanRequest) (table.ScanResult, error) {
 		if errs[sm] != nil {
 			return table.ScanResult{}, errs[sm]
 		}
-		acc = table.Merge(req.Op, acc, partials[sm])
+	}
+	for s := 0; s < stripes; s++ {
+		acc = table.Merge(req.Op, acc, partials[s])
 	}
 	p.done()
 	return table.Finalize(req.Op, acc), nil

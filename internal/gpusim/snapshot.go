@@ -56,11 +56,15 @@ func snapshotUnits(snap *table.Snapshot, sms int, bind func(int, *table.FactTabl
 // snapshot instead of the device's resident table: the request binds once
 // per stripe, the combined row space is cut into work units that respect
 // stripe boundaries, one goroutine per SM drains units from a shared
-// cursor accumulating SM-local intermediate values, and a parallel
-// reduction merges the partials. Live-table queries pin the snapshot at
-// bind time, so a concurrently ingesting store never changes the row set
-// mid-kernel.
+// cursor, and the per-unit partials merge in unit order — a deterministic
+// reduction, so the same request over the same snapshot returns
+// bit-identical results no matter how the SMs interleave. Live-table
+// queries pin the snapshot at bind time, so a concurrently ingesting
+// store never changes the row set mid-kernel.
 func (p *Partition) ExecuteSnapshot(snap *table.Snapshot, req table.ScanRequest) (table.ScanResult, error) {
+	if err := p.dev.faultCheck(p.id); err != nil {
+		return table.ScanResult{}, err
+	}
 	if snap == nil {
 		return table.ScanResult{}, fmt.Errorf("gpusim: nil snapshot")
 	}
@@ -102,14 +106,13 @@ func (p *Partition) ExecuteSnapshot(snap *table.Snapshot, req table.ScanRequest)
 		next++
 		return u
 	}
-	partials := make([]table.ScanResult, p.sms)
+	partials := make([]table.ScanResult, len(units))
 	errs := make([]error, p.sms)
 	var wg sync.WaitGroup
 	for sm := 0; sm < p.sms; sm++ {
 		wg.Add(1)
 		go func(sm int) {
 			defer wg.Done()
-			var acc table.ScanResult
 			for {
 				i := take()
 				if i < 0 {
@@ -121,9 +124,8 @@ func (p *Partition) ExecuteSnapshot(snap *table.Snapshot, req table.ScanRequest)
 					errs[sm] = err
 					return
 				}
-				acc = table.Merge(req.Op, acc, part)
+				partials[i] = part
 			}
-			partials[sm] = acc
 		}(sm)
 	}
 	wg.Wait()
@@ -132,7 +134,9 @@ func (p *Partition) ExecuteSnapshot(snap *table.Snapshot, req table.ScanRequest)
 		if errs[sm] != nil {
 			return table.ScanResult{}, errs[sm]
 		}
-		acc = table.Merge(req.Op, acc, partials[sm])
+	}
+	for i := range partials {
+		acc = table.Merge(req.Op, acc, partials[i])
 	}
 	p.done()
 	return table.Finalize(req.Op, acc), nil
@@ -142,6 +146,9 @@ func (p *Partition) ExecuteSnapshot(snap *table.Snapshot, req table.ScanRequest)
 // tables accumulate across every work unit the SM drains (units span all
 // stripes), then merge pairwise and finalise sorted by packed key.
 func (p *Partition) ExecuteGroupSnapshot(snap *table.Snapshot, req table.GroupScanRequest) ([]table.GroupRow, error) {
+	if err := p.dev.faultCheck(p.id); err != nil {
+		return nil, err
+	}
 	if snap == nil {
 		return nil, fmt.Errorf("gpusim: nil snapshot")
 	}

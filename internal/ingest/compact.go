@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hybridolap/internal/fault"
 	"hybridolap/internal/table"
 )
 
@@ -109,6 +110,13 @@ func (s *Store) CompactOnce(maxRun int) (int, error) {
 	if len(run) < 2 {
 		return 0, nil
 	}
+	// A failed compaction is recoverable by design: nothing was removed
+	// or published, the delta run stays queryable, and the compactor's
+	// next tick simply retries.
+	if err := s.faults.Check(fault.Compaction, -1); err != nil {
+		s.compactFailures.Add(1)
+		return 0, fmt.Errorf("ingest: compaction: %w", err)
+	}
 
 	var bytes int64
 	rows := 0
@@ -156,6 +164,7 @@ func (s *Store) CompactOnce(maxRun int) (int, error) {
 	}
 	merged, err := table.FromColumns(s.schema, coords, meas, texts, s.dicts)
 	if err != nil {
+		s.compactFailures.Add(1)
 		return 0, fmt.Errorf("ingest: compaction merge: %w", err)
 	}
 

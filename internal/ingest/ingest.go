@@ -8,8 +8,32 @@ import (
 
 	"hybridolap/internal/cube"
 	"hybridolap/internal/dict"
+	"hybridolap/internal/fault"
 	"hybridolap/internal/table"
 )
+
+// ErrDegraded is returned by Ingest once the store has flipped read-only
+// after a durability failure: accepting more batches without a working
+// WAL would silently lose them on crash. Queries keep working; recovery
+// is Close + Open (which replays every durable batch).
+var ErrDegraded = errors.New("ingest: store is degraded (read-only after a durability failure)")
+
+// DurabilityError wraps the WAL failure that flipped the store
+// read-only. The batch that hit it was NOT accepted: it is neither
+// logged nor published, so the caller must not count it as ingested.
+type DurabilityError struct {
+	// Op is the WAL operation that failed ("append" or "sync").
+	Op  string
+	Err error
+}
+
+// Error renders the failure.
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("ingest: WAL %s failed, store now degraded (read-only): %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *DurabilityError) Unwrap() error { return e.Err }
 
 // Pacer throttles background compaction through the scheduler: Begin
 // books the estimated cost of merging the given byte volume on the CPU
@@ -41,6 +65,11 @@ type Config struct {
 
 	// Pacer throttles compaction (see Pacer). Optional.
 	Pacer Pacer
+
+	// Faults injects the chaos plan consulted at the write path's fault
+	// points (fault.WALAppend, fault.WALSync, fault.Compaction); nil runs
+	// fault-free.
+	Faults *fault.Plan
 }
 
 // Stats is a point-in-time snapshot of ingest and compaction counters.
@@ -57,6 +86,11 @@ type Stats struct {
 	CompactedRows    int64  `json:"compacted_rows"`
 	WALRecords       int64  `json:"wal_records"`
 	WALBytes         int64  `json:"wal_bytes"`
+	// Degraded reports the store is read-only after a durability failure.
+	Degraded bool `json:"degraded"`
+	// CompactionFailures counts compaction cycles that errored (the
+	// compactor leaves the deltas in place and retries).
+	CompactionFailures int64 `json:"compaction_failures"`
 }
 
 // Store is the live table: an epoch registry of immutable stripes, a set
@@ -72,6 +106,12 @@ type Store struct {
 
 	cubeCfg cube.Config
 	pacer   Pacer
+	faults  *fault.Plan
+
+	// degraded flips once on the first durability failure and stays set
+	// until the store is reopened: ingest refuses further batches while
+	// reads continue unaffected.
+	degraded atomic.Bool
 
 	// mu serialises the write path: WAL append, text encoding, stripe
 	// materialization and epoch publish happen in one critical section so
@@ -87,6 +127,7 @@ type Store struct {
 	compactions      atomic.Int64
 	compactedStripes atomic.Int64
 	compactedRows    atomic.Int64
+	compactFailures  atomic.Int64
 }
 
 // Open builds a live store: wraps the base table's dictionaries in
@@ -143,6 +184,7 @@ func Open(cfg Config) (*Store, error) {
 		dicts:   live,
 		cubeCfg: cfg.CubeCfg,
 		pacer:   cfg.Pacer,
+		faults:  cfg.Faults,
 	}
 	if cfg.WALPath != "" {
 		l, batches, err := OpenLog(cfg.WALPath)
@@ -218,12 +260,23 @@ func (s *Store) ingest(b *Batch, logIt bool) (*table.Snapshot, error) {
 	if s.closed {
 		return nil, errors.New("ingest: store is closed")
 	}
+	if s.degraded.Load() {
+		return nil, ErrDegraded
+	}
 	if len(b.Rows) == 0 {
 		return s.reg.Current(), nil
 	}
 	if logIt && s.log != nil {
-		if err := s.log.Append(b); err != nil {
-			return nil, err
+		// The WALAppend fault point sits exactly where a disk-full or I/O
+		// error would: the batch is not yet logged, not yet published, so
+		// rejecting it loses nothing the caller was told is durable.
+		err := s.faults.Check(fault.WALAppend, -1)
+		if err == nil {
+			err = s.log.Append(b)
+		}
+		if err != nil {
+			s.degraded.Store(true)
+			return nil, &DurabilityError{Op: "append", Err: err}
 		}
 	}
 
@@ -303,8 +356,15 @@ func (s *Store) Stats() Stats {
 		st.WALRecords = s.log.Records()
 		st.WALBytes = s.log.SizeBytes()
 	}
+	st.Degraded = s.degraded.Load()
+	st.CompactionFailures = s.compactFailures.Load()
 	return st
 }
+
+// Degraded reports whether a durability failure has flipped the store
+// read-only. Queries stay unaffected; Ingest returns ErrDegraded until
+// the store is reopened.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
 
 // SetPacer installs (or replaces) the compaction pacer. Call before
 // StartCompactor; typically used to wire a scheduler-aware pacer built
@@ -315,12 +375,23 @@ func (s *Store) SetPacer(p Pacer) {
 	s.pacer = p
 }
 
-// Sync flushes the WAL to stable storage (no-op without a WAL).
+// Sync flushes the WAL to stable storage (no-op without a WAL). A sync
+// failure — injected or real — degrades the store: batches the caller
+// asked to make durable may not be, so accepting more would compound the
+// lie.
 func (s *Store) Sync() error {
 	if s.log == nil {
 		return nil
 	}
-	return s.log.Sync()
+	err := s.faults.Check(fault.WALSync, -1)
+	if err == nil {
+		err = s.log.Sync()
+	}
+	if err != nil {
+		s.degraded.Store(true)
+		return &DurabilityError{Op: "sync", Err: err}
+	}
+	return nil
 }
 
 // Close stops the compactor (if running), waits for it, drains any

@@ -6,6 +6,19 @@ import "fmt"
 // (seconds on the engine's clock) with the given step-2 estimates, commits
 // the chosen queue's clock updates, and returns the placement.
 func (s *Scheduler) Submit(now float64, est Estimates) (Decision, error) {
+	return s.submit(now, now+s.cfg.DeadlineSeconds, est, &s.stats.Submitted)
+}
+
+// Resubmit re-books a failed job through the normal policy with an
+// explicit absolute deadline: a retry keeps the original T_D and competes
+// with whatever slack remains, instead of earning a fresh T_C. When no
+// GPU partition can still make the deadline, the policy's own CPU
+// preference and min-|slack| fallback provide the failover path.
+func (s *Scheduler) Resubmit(now, deadline float64, est Estimates) (Decision, error) {
+	return s.submit(now, deadline, est, &s.stats.Resubmitted)
+}
+
+func (s *Scheduler) submit(now, deadline float64, est Estimates, counter *int64) (Decision, error) {
 	if len(est.GPUSeconds) != len(s.cfg.GPUWidths) {
 		return Decision{}, fmt.Errorf("sched: got %d GPU estimates for %d partitions",
 			len(est.GPUSeconds), len(s.cfg.GPUWidths))
@@ -13,8 +26,7 @@ func (s *Scheduler) Submit(now float64, est Estimates) (Decision, error) {
 	if est.NeedsTranslation && est.CPUOK {
 		return Decision{}, fmt.Errorf("sched: query cannot both need translation and be CPU-answerable")
 	}
-	s.stats.Submitted++
-	deadline := now + s.cfg.DeadlineSeconds
+	*counter++
 
 	var d Decision
 	var err error
@@ -35,7 +47,7 @@ func (s *Scheduler) Submit(now float64, est Estimates) (Decision, error) {
 		err = fmt.Errorf("sched: unknown policy %v", s.cfg.Policy)
 	}
 	if err != nil {
-		s.stats.Submitted--
+		*counter--
 		s.stats.RejectedQueries++
 		return Decision{}, err
 	}
@@ -47,13 +59,16 @@ func (s *Scheduler) Submit(now float64, est Estimates) (Decision, error) {
 	return d, nil
 }
 
-// decidePaper is the Fig. 10 algorithm, steps 3–6.
+// decidePaper is the Fig. 10 algorithm, steps 3–6, restricted to healthy
+// (or probing) GPU partitions: a quarantined partition is invisible to
+// the P_BD scan, the CPU-vs-GPU speed test and the min-|slack| fallback.
 func (s *Scheduler) decidePaper(now, deadline float64, est Estimates) (Decision, error) {
 	// Step 3: response times for all partitions.
 	cpuStart := clamp(s.tqCPU, now)
 	cpuEnd := cpuStart + est.CPUSeconds
 
 	n := len(s.cfg.GPUWidths)
+	elig, anyElig := s.eligibleSet(now)
 	type cand struct{ transStart, transEnd, start, end float64 }
 	gpu := make([]cand, n)
 	for i := 0; i < n; i++ {
@@ -66,7 +81,7 @@ func (s *Scheduler) decidePaper(now, deadline float64, est Estimates) (Decision,
 	gpuInBD := make([]bool, n)
 	anyGPU := false
 	for i := range gpu {
-		if deadline-gpu[i].end > 0 {
+		if elig[i] && deadline-gpu[i].end > 0 {
 			gpuInBD[i] = true
 			anyGPU = true
 		}
@@ -76,7 +91,7 @@ func (s *Scheduler) decidePaper(now, deadline float64, est Estimates) (Decision,
 	if cpuInBD || anyGPU {
 		// CPU wins when it is in P_BD and its *processing* time beats the
 		// fastest GPU partition's processing time (T_CPU < T_GPU3).
-		if cpuInBD && est.CPUSeconds < s.fastestGPUService(est) {
+		if cpuInBD && est.CPUSeconds < s.fastestGPUService(est, elig) {
 			d := Decision{Queue: QueueRef{Kind: QueueCPU}, Start: cpuStart, End: cpuEnd}
 			s.commitCPU(&d)
 			return d, nil
@@ -110,13 +125,16 @@ func (s *Scheduler) decidePaper(now, deadline float64, est Estimates) (Decision,
 	bestIdx := -1 // -1 = CPU
 	best := infOr(cpuEnd, !est.CPUOK)
 	for i := range gpu {
-		if gpu[i].end < best {
+		if elig[i] && gpu[i].end < best {
 			best = gpu[i].end
 			bestIdx = i
 		}
 	}
 	if bestIdx == -1 {
 		if !est.CPUOK {
+			if !anyElig && n > 0 {
+				return Decision{}, ErrAllQuarantined
+			}
 			return Decision{}, ErrUnanswerable
 		}
 		d := Decision{Queue: QueueRef{Kind: QueueCPU}, Start: cpuStart, End: cpuEnd}
@@ -133,11 +151,15 @@ func (s *Scheduler) decidePaper(now, deadline float64, est Estimates) (Decision,
 }
 
 // fastestGPUService returns T_GPU3: the service-time estimate of the
-// fastest (widest) GPU partition.
-func (s *Scheduler) fastestGPUService(est Estimates) float64 {
-	best := est.GPUSeconds[0]
-	bestW := s.cfg.GPUWidths[0]
-	for i := 1; i < len(est.GPUSeconds); i++ {
+// fastest (widest) eligible GPU partition; +inf when none is eligible,
+// so the CPU wins the speed test by default.
+func (s *Scheduler) fastestGPUService(est Estimates, elig []bool) float64 {
+	best := inf
+	bestW := -1
+	for i := 0; i < len(est.GPUSeconds); i++ {
+		if !elig[i] {
+			continue
+		}
 		if s.cfg.GPUWidths[i] > bestW || (s.cfg.GPUWidths[i] == bestW && est.GPUSeconds[i] < best) {
 			best = est.GPUSeconds[i]
 			bestW = s.cfg.GPUWidths[i]
@@ -197,6 +219,7 @@ func (s *Scheduler) decideCPUOnly(now, _ float64, est Estimates) (Decision, erro
 // decideMCT picks the earliest completion over every eligible partition.
 func (s *Scheduler) decideMCT(now, _ float64, est Estimates) (Decision, error) {
 	n := len(s.cfg.GPUWidths)
+	elig, _ := s.eligibleSet(now)
 	bestIdx := -1
 	cpuStart := clamp(s.tqCPU, now)
 	best := infOr(cpuStart+est.CPUSeconds, !est.CPUOK)
@@ -205,7 +228,7 @@ func (s *Scheduler) decideMCT(now, _ float64, est Estimates) (Decision, error) {
 	for i := 0; i < n; i++ {
 		ts, te, st, en := s.responseGPU(i, now, est)
 		gpu[i] = cand{ts, te, st, en}
-		if en < best {
+		if elig[i] && en < best {
 			best = en
 			bestIdx = i
 		}
@@ -229,11 +252,12 @@ func (s *Scheduler) decideMCT(now, _ float64, est Estimates) (Decision, error) {
 
 // decideMET picks the smallest service time, ignoring queue lengths.
 func (s *Scheduler) decideMET(now, _ float64, est Estimates) (Decision, error) {
+	elig, _ := s.eligibleSet(now)
 	bestIdx := -1
 	best := infOr(est.CPUSeconds, !est.CPUOK)
 	for i, g := range est.GPUSeconds {
 		svc := g + est.TransSeconds // translation is part of the work MET ignores queues for
-		if svc < best {
+		if elig[i] && svc < best {
 			best = svc
 			bestIdx = i
 		}
@@ -259,6 +283,7 @@ func (s *Scheduler) decideMET(now, _ float64, est Estimates) (Decision, error) {
 // decideRoundRobin cycles over CPU + GPU queues, skipping ineligible ones.
 func (s *Scheduler) decideRoundRobin(now, _ float64, est Estimates) (Decision, error) {
 	n := len(s.cfg.GPUWidths)
+	elig, _ := s.eligibleSet(now)
 	slots := n + 1 // slot n means CPU
 	for k := 0; k < slots; k++ {
 		slot := (s.rrNext + k) % slots
@@ -271,6 +296,9 @@ func (s *Scheduler) decideRoundRobin(now, _ float64, est Estimates) (Decision, e
 			d := Decision{Queue: QueueRef{Kind: QueueCPU}, Start: start, End: start + est.CPUSeconds}
 			s.commitCPU(&d)
 			return d, nil
+		}
+		if !elig[slot] {
+			continue
 		}
 		s.rrNext = (slot + 1) % slots
 		ts, te, st, en := s.responseGPU(slot, now, est)

@@ -1,0 +1,173 @@
+package sched
+
+import "fmt"
+
+// HealthState is one GPU partition's standing with the scheduler. The
+// paper's Fig. 10 assumes every partition always completes its work; the
+// health machine is what lets the reproduction survive the partitions
+// that don't: repeated failures quarantine a partition out of the P_BD
+// scan until a clock-based re-probe lets one job test it again.
+type HealthState int
+
+const (
+	// Healthy partitions take work normally.
+	Healthy HealthState = iota
+	// Probation partitions take work, but a single failure re-quarantines
+	// them immediately (no threshold grace).
+	Probation
+	// Quarantined partitions are excluded from every placement scan until
+	// the virtual clock reaches their re-probe time.
+	Quarantined
+)
+
+// String names the state.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Probation:
+		return "probation"
+	case Quarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("HealthState(%d)", int(h))
+	}
+}
+
+// partitionHealth tracks one GPU partition.
+type partitionHealth struct {
+	state     HealthState
+	fails     int     // consecutive failures while Healthy
+	reprobeAt float64 // virtual time a Quarantined partition may probe again
+}
+
+// quarantineThreshold resolves the configured consecutive-failure
+// threshold (default 3).
+func (s *Scheduler) quarantineThreshold() int {
+	if s.cfg.QuarantineThreshold > 0 {
+		return s.cfg.QuarantineThreshold
+	}
+	return 3
+}
+
+// reprobeSeconds resolves the configured quarantine sit-out (default 5s
+// of virtual time).
+func (s *Scheduler) reprobeSeconds() float64 {
+	if s.cfg.ReprobeSeconds > 0 {
+		return s.cfg.ReprobeSeconds
+	}
+	return 5
+}
+
+// ReportFailure records a failed job on a queue at virtual time now. CPU
+// and translation failures are not health-tracked (there is exactly one
+// of each; quarantining them is shutting the system down). A Healthy GPU
+// partition quarantines after QuarantineThreshold consecutive failures; a
+// Probation partition re-quarantines on its first. Quarantining drops the
+// partition's booked queue time back to now: its queued jobs are being
+// re-placed through the retry path, so leaving their estimates on the
+// clock would charge phantom work to a dead partition and poison every
+// later comparison against it.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
+func (s *Scheduler) ReportFailure(ref QueueRef, now float64) {
+	if ref.Kind != QueueGPU || ref.Index < 0 || ref.Index >= len(s.health) {
+		return
+	}
+	s.stats.PartitionFailures++
+	h := &s.health[ref.Index]
+	switch h.state {
+	case Probation:
+		// Failed its probe: straight back out.
+		s.quarantine(ref.Index, now)
+	case Quarantined:
+		// A stale in-flight job placed before the quarantine: refresh the
+		// sit-out window, but this is not a new quarantine event.
+		if at := now + s.reprobeSeconds(); at > h.reprobeAt {
+			h.reprobeAt = at
+		}
+	default:
+		h.fails++
+		if h.fails >= s.quarantineThreshold() {
+			s.quarantine(ref.Index, now)
+		}
+	}
+}
+
+// quarantine moves a partition out of service until now+ReprobeSeconds.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
+func (s *Scheduler) quarantine(i int, now float64) {
+	h := &s.health[i]
+	h.state = Quarantined
+	h.fails = 0
+	h.reprobeAt = now + s.reprobeSeconds()
+	if s.tqGPU[i] > now {
+		s.tqGPU[i] = now
+	}
+	s.stats.Quarantines++
+}
+
+// ReportSuccess records a completed job: consecutive-failure counts reset
+// and a Probation partition that survived its probe returns to Healthy.
+func (s *Scheduler) ReportSuccess(ref QueueRef) {
+	if ref.Kind != QueueGPU || ref.Index < 0 || ref.Index >= len(s.health) {
+		return
+	}
+	h := &s.health[ref.Index]
+	h.fails = 0
+	if h.state == Probation {
+		h.state = Healthy
+		s.stats.Reprobes++
+	}
+}
+
+// eligible reports whether GPU partition i may be offered work at virtual
+// time now. Reaching the re-probe time transitions Quarantined →
+// Probation as a side effect, so the next placement scan may send exactly
+// the probe traffic the state machine wants.
+func (s *Scheduler) eligible(i int, now float64) bool {
+	h := &s.health[i]
+	if h.state != Quarantined {
+		return true
+	}
+	if now >= h.reprobeAt {
+		h.state = Probation
+		return true
+	}
+	return false
+}
+
+// eligibleSet evaluates eligibility for every GPU partition once per
+// submission (eligible mutates state, so each decide* calls this exactly
+// once and shares the result).
+func (s *Scheduler) eligibleSet(now float64) (elig []bool, any bool) {
+	elig = make([]bool, len(s.health))
+	for i := range s.health {
+		if s.eligible(i, now) {
+			elig[i] = true
+			any = true
+		}
+	}
+	return elig, any
+}
+
+// Health returns partition i's current state and, when quarantined, the
+// virtual time its re-probe opens.
+func (s *Scheduler) Health(i int) (HealthState, float64) {
+	if i < 0 || i >= len(s.health) {
+		return Healthy, 0
+	}
+	return s.health[i].state, s.health[i].reprobeAt
+}
+
+// HealthStates snapshots every GPU partition's state.
+func (s *Scheduler) HealthStates() []HealthState {
+	out := make([]HealthState, len(s.health))
+	for i := range s.health {
+		out[i] = s.health[i].state
+	}
+	return out
+}
+
+// ErrAllQuarantined is returned when every partition that could answer
+// the query is quarantined (and the CPU path cannot take it).
+var ErrAllQuarantined = fmt.Errorf("sched: every eligible GPU partition is quarantined")

@@ -138,6 +138,12 @@ type Config struct {
 	// DisableFeedback turns off the measured-vs-estimated queue-clock
 	// correction (Sec. III-G last paragraph); for the ablation.
 	DisableFeedback bool
+	// QuarantineThreshold is the number of consecutive failures that
+	// quarantines a GPU partition (default 3).
+	QuarantineThreshold int
+	// ReprobeSeconds is how long (virtual time) a quarantined partition
+	// sits out before one probe job may test it again (default 5).
+	ReprobeSeconds float64
 }
 
 // Estimates carries the per-query model outputs of step 2 of Fig. 10.
@@ -182,6 +188,14 @@ type Stats struct {
 	// MaintenanceJobs counts background jobs (delta-stripe compaction)
 	// booked on the CPU processing queue via SubmitMaintenance.
 	MaintenanceJobs int64
+	// Resubmitted counts failed jobs re-booked through Resubmit.
+	Resubmitted int64
+	// PartitionFailures counts failures reported against GPU partitions.
+	PartitionFailures int64
+	// Quarantines counts Healthy/Probation → Quarantined transitions.
+	Quarantines int64
+	// Reprobes counts successful probes (Probation → Healthy).
+	Reprobes int64
 }
 
 // Scheduler owns the queue clocks and applies the configured policy. It is
@@ -193,6 +207,8 @@ type Scheduler struct {
 	tqCPU   float64
 	tqTrans float64
 	tqGPU   []float64
+
+	health []partitionHealth
 
 	rrNext int // round-robin cursor (policy and placement variants)
 	stats  Stats
@@ -211,7 +227,11 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.DeadlineSeconds <= 0 {
 		return nil, fmt.Errorf("sched: DeadlineSeconds must be positive")
 	}
-	s := &Scheduler{cfg: cfg, tqGPU: make([]float64, len(cfg.GPUWidths))}
+	s := &Scheduler{
+		cfg:    cfg,
+		tqGPU:  make([]float64, len(cfg.GPUWidths)),
+		health: make([]partitionHealth, len(cfg.GPUWidths)),
+	}
 	s.stats.ToGPU = make([]int64, len(cfg.GPUWidths))
 	return s, nil
 }
@@ -295,6 +315,7 @@ func (s *Scheduler) Peek(now float64, est Estimates) (Decision, error) {
 		tqCPU:   s.tqCPU,
 		tqTrans: s.tqTrans,
 		tqGPU:   append([]float64(nil), s.tqGPU...),
+		health:  append([]partitionHealth(nil), s.health...),
 		rrNext:  s.rrNext,
 	}
 	cp.stats.ToGPU = make([]int64, len(s.cfg.GPUWidths))

@@ -26,9 +26,11 @@ package olap
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hybridolap/internal/engine"
+	"hybridolap/internal/fault"
 	"hybridolap/internal/ingest"
 	"hybridolap/internal/query"
 	"hybridolap/internal/sched"
@@ -60,11 +62,18 @@ type Options struct {
 	WALPath string
 	// NoCompactor disables the background compactor in live mode.
 	NoCompactor bool
+	// FaultPlan installs a seeded chaos plan across the whole stack (GPU
+	// kernels, translation, WAL, compaction). Nil runs fault-free.
+	FaultPlan *fault.Plan
+	// MaxRetries bounds re-booking of failed GPU attempts (default 2;
+	// negative disables retries).
+	MaxRetries int
 }
 
 // DB is an open hybrid OLAP engine.
 type DB struct {
-	sys *engine.System
+	sys    *engine.System
+	closed atomic.Bool
 }
 
 // Open builds a complete system: synthetic fact table on the paper schema,
@@ -88,6 +97,8 @@ func Open(opts Options) (*DB, error) {
 	}
 	spec.Live = opts.Live
 	spec.LiveWALPath = opts.WALPath
+	spec.Faults = opts.FaultPlan
+	spec.MaxRetries = opts.MaxRetries
 	sys, err := engine.Setup(spec)
 	if err != nil {
 		return nil, err
@@ -121,12 +132,28 @@ func (db *DB) IngestStats() ingest.Stats {
 }
 
 // Close stops the background compactor, drains in-flight ingest and
-// flushes the append log. A static database closes trivially.
+// flushes the append log. A static database closes trivially. Close is
+// idempotent: the second and later calls return nil without touching the
+// store.
 func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if store := db.sys.Live(); store != nil {
 		return store.Close()
 	}
 	return nil
+}
+
+// Degraded reports whether a durability failure has flipped the live
+// store read-only (always false for a static database). Queries keep
+// working; Ingest returns ingest.ErrDegraded until the database is
+// reopened.
+func (db *DB) Degraded() bool {
+	if store := db.sys.Live(); store != nil {
+		return store.Degraded()
+	}
+	return false
 }
 
 // FromSystem wraps an already-assembled engine (advanced wiring: custom

@@ -135,3 +135,31 @@ func TestRunValidates(t *testing.T) {
 		t.Fatal("invalid query accepted")
 	}
 }
+
+func TestCloseIdempotent(t *testing.T) {
+	// Static database: both calls are trivial nils.
+	db := openSmall(t)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	// Live database: only the first Close touches the store; later calls
+	// return nil instead of tripping over the already-closed WAL.
+	live, err := Open(Options{Rows: 1000, Seed: 2, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Ingest([]table.Row{{Coords: []int{0, 0, 0}, Measures: []float64{1, 1}, Texts: []string{"a", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := live.Close(); err != nil {
+			t.Fatalf("repeat Close %d = %v, want nil", i, err)
+		}
+	}
+}
