@@ -14,9 +14,12 @@ vet:
 	$(GO) vet ./...
 
 # Custom static-analysis suite (cmd/olaplint): simclock, seededrand,
-# lockdiscipline, floateq, errdrop, unitsafety, clockowner, ctxleak.
+# lockdiscipline, floateq, errdrop, unitsafety, clockowner, ctxleak,
+# plus the interprocedural wave — lockorder, epochpin, faultpoint,
+# errcmp — which shares one call graph and a post-pass Finish phase.
 # Findings are fixed, never suppressed; see "Static analysis &
 # determinism" in README.md and the analyzer-authoring guide in DESIGN.md.
+# Add -timing to see the shared package load and per-analyzer cost.
 lint:
 	$(GO) run ./cmd/olaplint ./...
 

@@ -18,6 +18,16 @@
 //	-diff        print the suggested fixes as a unified diff, apply nothing
 //	-json        emit diagnostics as NDJSON (one object per line) for
 //	             machine consumers such as the CI problem matcher
+//	-timing      print the load time and per-analyzer wall time to
+//	             stderr after the run
+//
+// The exit status counts every finding, fix-eligible or not: a -json
+// run whose findings all carry suggested fixes still exits 1, so CI
+// cannot pass on pending fixes.
+//
+// Packages are loaded once per invocation — one `go list -export` plus
+// one type-check — and every selected analyzer runs over that shared
+// load; -timing makes the split visible.
 //
 // Fix application is deterministic: diagnostics are processed in position
 // order, duplicate edits collapse, and conflicting overlaps are an error.
@@ -36,12 +46,18 @@ import (
 	"sort"
 	"strings"
 
+	"time"
+
 	"hybridolap/internal/analysis"
 	"hybridolap/internal/analysis/clockowner"
 	"hybridolap/internal/analysis/ctxleak"
+	"hybridolap/internal/analysis/epochpin"
+	"hybridolap/internal/analysis/errcmp"
 	"hybridolap/internal/analysis/errdrop"
+	"hybridolap/internal/analysis/faultpoint"
 	"hybridolap/internal/analysis/floateq"
 	"hybridolap/internal/analysis/lockdiscipline"
+	"hybridolap/internal/analysis/lockorder"
 	"hybridolap/internal/analysis/seededrand"
 	"hybridolap/internal/analysis/simclock"
 	"hybridolap/internal/analysis/unitsafety"
@@ -58,6 +74,10 @@ func registry() []*analysis.Analyzer {
 		unitsafety.Analyzer,
 		clockowner.Analyzer,
 		ctxleak.Analyzer,
+		lockorder.Analyzer,
+		epochpin.Analyzer,
+		faultpoint.Analyzer,
+		errcmp.Analyzer,
 	}
 }
 
@@ -67,6 +87,7 @@ func main() {
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	diff := flag.Bool("diff", false, "print suggested fixes as a unified diff without applying")
 	asJSON := flag.Bool("json", false, "emit diagnostics as NDJSON")
+	timing := flag.Bool("timing", false, "print load and per-analyzer wall times to stderr")
 	flag.Parse()
 
 	if *list {
@@ -93,7 +114,11 @@ func main() {
 	case *diff:
 		mode = modeDiff
 	}
-	n, err := lint(os.Stdout, ".", flag.Args(), analyzers, mode, *asJSON)
+	var timingW io.Writer
+	if *timing {
+		timingW = os.Stderr
+	}
+	n, err := lint(os.Stdout, timingW, ".", flag.Args(), analyzers, mode, *asJSON)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "olaplint:", err)
 		os.Exit(2)
@@ -147,10 +172,14 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
-// lint loads patterns relative to dir, runs the analyzers and returns the
-// count that should drive the exit status: findings in report modes, or
+// lint loads patterns relative to dir — once: every analyzer shares the
+// single `go list -export` + type-check — runs the analyzers and returns
+// the count that should drive the exit status: findings in report modes
+// (every finding counts, whether or not it carries a suggested fix), or
 // pending edits in -diff mode (so a dirty tree fails CI's fix check).
-func lint(w io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer, mode lintMode, asJSON bool) (int, error) {
+// A non-nil timingW receives the load time and per-analyzer wall times.
+func lint(w, timingW io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer, mode lintMode, asJSON bool) (int, error) {
+	start := time.Now()
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		return 0, err
@@ -158,7 +187,14 @@ func lint(w io.Writer, dir string, patterns []string, analyzers []*analysis.Anal
 	if len(pkgs) == 0 {
 		return 0, fmt.Errorf("no packages matched %v", patterns)
 	}
-	diags := analysis.Analyze(pkgs, analyzers)
+	loadTime := time.Since(start)
+	diags, timings := analysis.AnalyzeTimed(pkgs, analyzers)
+	if timingW != nil {
+		fmt.Fprintf(timingW, "olaplint: load %s (%d packages)\n", loadTime.Round(time.Millisecond), len(pkgs))
+		for _, t := range timings {
+			fmt.Fprintf(timingW, "olaplint: %-16s %s\n", t.Name, t.Elapsed.Round(time.Microsecond))
+		}
+	}
 	fset := pkgs[0].Fset
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)

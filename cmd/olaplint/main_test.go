@@ -8,12 +8,13 @@ import (
 	"testing"
 )
 
-// TestRegistryComplete pins the suite: all eight analyzers must be
+// TestRegistryComplete pins the suite: all twelve analyzers must be
 // registered, in stable order, with docs for -list output.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"simclock", "seededrand", "lockdiscipline", "floateq", "errdrop",
 		"unitsafety", "clockowner", "ctxleak",
+		"lockorder", "epochpin", "faultpoint", "errcmp",
 	}
 	got := registry()
 	if len(got) != len(want) {
@@ -102,7 +103,7 @@ func Mix(s *Stats) {
 func TestKnownBadFixture(t *testing.T) {
 	dir := badModule(t)
 	var out strings.Builder
-	n, err := lint(&out, dir, []string{"./..."}, registry(), modeReport, false)
+	n, err := lint(&out, nil, dir, []string{"./..."}, registry(), modeReport, false)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
@@ -124,7 +125,7 @@ func TestKnownBadFixture(t *testing.T) {
 func TestJSONOutput(t *testing.T) {
 	dir := badModule(t)
 	var out strings.Builder
-	n, err := lint(&out, dir, []string{"./..."}, registry(), modeReport, true)
+	n, err := lint(&out, nil, dir, []string{"./..."}, registry(), modeReport, true)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
@@ -149,6 +150,71 @@ func TestJSONOutput(t *testing.T) {
 		if strings.Index(line, `"file":`) > strings.Index(line, `"line":`) {
 			t.Errorf("field order changed, problem matcher will break: %q", line)
 		}
+	}
+}
+
+// TestJSONExitOnFixableFindings is the regression gate for the exit
+// contract: a -json run whose findings all carry suggested fixes must
+// still report a non-zero count — CI consumes the JSON stream and must
+// not pass while fixes are pending.
+func TestJSONExitOnFixableFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module bad\n\ngo 1.22\n")
+	// Every finding in this module is fix-eligible (unitsafety's
+	// seconds->milliseconds conversion).
+	writeFile(t, dir, "units/units.go", `package units
+
+type Stats struct {
+	TotalSeconds float64
+	WaitMS       float64
+}
+
+func Mix(s *Stats) {
+	s.WaitMS = s.TotalSeconds
+}
+`)
+	var out strings.Builder
+	n, err := lint(&out, nil, dir, []string{"./..."}, registry(), modeReport, true)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("fix-eligible findings did not count toward the exit status:\n%s", out.String())
+	}
+	sawFixable := false
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var d jsonDiag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if d.Fixes > 0 {
+			sawFixable = true
+		}
+	}
+	if !sawFixable {
+		t.Fatalf("fixture produced no fix-eligible findings; the regression gate is vacuous:\n%s", out.String())
+	}
+}
+
+// TestTimingOutput checks the -timing channel: a non-nil writer gets
+// the load line and one line per analyzer, and none of it leaks into
+// the diagnostics stream.
+func TestTimingOutput(t *testing.T) {
+	dir := badModule(t)
+	var out, timing strings.Builder
+	if _, err := lint(&out, &timing, dir, []string{"./..."}, registry(), modeReport, false); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if !strings.Contains(timing.String(), "olaplint: load ") {
+		t.Errorf("timing output missing load line:\n%s", timing.String())
+	}
+	for _, a := range registry() {
+		if !strings.Contains(timing.String(), a.Name) {
+			t.Errorf("timing output missing analyzer %s:\n%s", a.Name, timing.String())
+		}
+	}
+	if strings.Contains(out.String(), "olaplint: load ") {
+		t.Errorf("timing lines leaked into the diagnostics stream:\n%s", out.String())
 	}
 }
 
@@ -181,7 +247,7 @@ func Mix(s *Stats) {
 `)
 
 	var out strings.Builder
-	if _, err := lint(&out, dir, []string{"./..."}, registry(), modeFix, false); err != nil {
+	if _, err := lint(&out, nil, dir, []string{"./..."}, registry(), modeFix, false); err != nil {
 		t.Fatalf("lint -fix: %v", err)
 	}
 	if !strings.Contains(out.String(), "fixed") {
@@ -205,7 +271,7 @@ func Mix(s *Stats) {
 
 	// Second run: clean, and -diff proposes nothing.
 	out.Reset()
-	n, err := lint(&out, dir, []string{"./..."}, registry(), modeReport, false)
+	n, err := lint(&out, nil, dir, []string{"./..."}, registry(), modeReport, false)
 	if err != nil {
 		t.Fatalf("second lint: %v", err)
 	}
@@ -213,7 +279,7 @@ func Mix(s *Stats) {
 		t.Errorf("findings remain after -fix:\n%s", out.String())
 	}
 	out.Reset()
-	n, err = lint(&out, dir, []string{"./..."}, registry(), modeDiff, false)
+	n, err = lint(&out, nil, dir, []string{"./..."}, registry(), modeDiff, false)
 	if err != nil {
 		t.Fatalf("lint -diff: %v", err)
 	}
@@ -240,7 +306,7 @@ func Mix(s *Stats) {
 `
 	writeFile(t, dir, "units/units.go", src)
 	var out strings.Builder
-	n, err := lint(&out, dir, []string{"./..."}, registry(), modeDiff, false)
+	n, err := lint(&out, nil, dir, []string{"./..."}, registry(), modeDiff, false)
 	if err != nil {
 		t.Fatalf("lint -diff: %v", err)
 	}
@@ -268,7 +334,7 @@ func TestRepoIsClean(t *testing.T) {
 		t.Skip("compiles the whole module; skipped in -short")
 	}
 	var out strings.Builder
-	n, err := lint(&out, "../..", []string{"./..."}, registry(), modeReport, false)
+	n, err := lint(&out, nil, "../..", []string{"./..."}, registry(), modeReport, false)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
@@ -285,7 +351,7 @@ func TestRepoFixConverged(t *testing.T) {
 		t.Skip("compiles the whole module; skipped in -short")
 	}
 	var out strings.Builder
-	n, err := lint(&out, "../..", []string{"./..."}, registry(), modeDiff, false)
+	n, err := lint(&out, nil, "../..", []string{"./..."}, registry(), modeDiff, false)
 	if err != nil {
 		t.Fatalf("lint -diff: %v", err)
 	}

@@ -17,10 +17,14 @@
 package analysis
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
+	"sort"
 )
 
 // Analyzer describes one static check.
@@ -39,6 +43,14 @@ type Analyzer struct {
 	// time, mirroring x/tools: the list is the analyzer's serialization
 	// contract across package boundaries.
 	FactTypes []Fact
+	// Finish, when non-nil, runs once per Analyze call after every
+	// per-package pass of this analyzer. It sees the whole analyzed
+	// program (every loaded package plus the facts the passes exported)
+	// and may report diagnostics — the hook exists for whole-program
+	// properties that no single package can decide, such as cycles in a
+	// global lock-acquisition graph whose edges were observed in sibling
+	// packages that never import each other.
+	Finish func(pass *FinishPass) error
 }
 
 // Fact is a datum one pass attaches to an object or package for passes of
@@ -63,6 +75,60 @@ type Pass struct {
 	// of one Analyze call. Nil when the pass runs outside Analyze (then
 	// export/import are no-ops that find nothing).
 	facts *factStore
+}
+
+// FinishPass presents the whole analyzed program to an Analyzer's Finish
+// hook. Packages appear in dependency order (the order their passes ran);
+// every token.Pos recorded during the passes — including positions
+// embedded in facts — resolves against Fset, because one Analyze call
+// parses all packages into a single shared FileSet.
+type FinishPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	// Report delivers one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+
+	facts *factStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *FinishPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// PackageFact pairs one package-level fact with the package that
+// exported it.
+type PackageFact struct {
+	Path string // package import path
+	Fact Fact
+}
+
+// AllPackageFacts decodes every package-level fact of proto's type that
+// this analyzer's passes exported, sorted by package path so iteration
+// is deterministic. proto is only a type witness; each returned entry
+// holds a freshly decoded value.
+func (p *FinishPass) AllPackageFacts(proto Fact) []PackageFact {
+	if !p.Analyzer.allowsFact(proto) {
+		panic(fmt.Sprintf("%s: fact type %T not declared in FactTypes", p.Analyzer.Name, proto))
+	}
+	if p.facts == nil {
+		return nil
+	}
+	raw := p.facts.packageFacts(p.Analyzer.Name, factType(proto))
+	paths := make([]string, 0, len(raw))
+	for path := range raw {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]PackageFact, 0, len(paths))
+	for _, path := range paths {
+		fact := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Fact)
+		if gob.NewDecoder(bytes.NewReader(raw[path])).Decode(fact) == nil {
+			out = append(out, PackageFact{Path: path, Fact: fact})
+		}
+	}
+	return out
 }
 
 // Diagnostic is one finding at a source position.

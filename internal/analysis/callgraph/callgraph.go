@@ -1,0 +1,529 @@
+// Package callgraph builds the per-package slice of the program's static
+// call graph that the suite's interprocedural analyzers (lockorder,
+// epochpin, faultpoint) share. For every function declared in a package
+// it produces a Summary: the statically resolvable call edges annotated
+// with the set of locks held at each call site, the lock acquisitions
+// with the locks already held before each one, and the fault-point
+// crossings (calls to (*fault.Plan).Check with a named Point constant).
+//
+// Summaries are plain serializable values. Each analyzer wraps the parts
+// it needs into its own Fact type and exports them through the facts
+// mechanism, so the information crosses package boundaries exactly like
+// compiler export data: an analyzer pass on internal/engine reads the
+// summary of ingest.(*Store).CompactOnce as a fact, never as shared Go
+// pointers.
+//
+// Soundness model (deliberately over- and under-approximated; DESIGN.md
+// "Interprocedural analysis" spells out the consequences):
+//
+//   - Only statically resolvable calls become edges: direct calls and
+//     method calls on concrete receivers. Calls through function values
+//     and interface dispatch produce no edge — a callee reached only
+//     that way is invisible to the interprocedural analyzers.
+//   - Lock state is tracked by a single linear walk of each function
+//     body in source order. Branches are walked in sequence with one
+//     shared held-set, so an unlock on an early-return path may
+//     under-approximate the held-set of later statements; the
+//     repository's lock style (defer-unlock, or short paired
+//     lock/unlock sections) keeps the model exact in practice.
+//   - A deferred Unlock keeps the lock in the held-set for the rest of
+//     the function, which is precisely Go's runtime behaviour.
+//   - Function literals are walked with a cloned lock state (the
+//     current held-set; an empty one for `go func(){...}` literals,
+//     whose goroutine starts holding nothing) and their events merge
+//     into the enclosing declaration's summary. Mutations inside a
+//     literal do not leak back into the enclosing walk.
+//   - Locks are named at type granularity: every instance of
+//     ingest.Store shares one identity for its mu field. That is the
+//     standard abstraction for static deadlock detection — it cannot
+//     distinguish two Store instances locked in opposite orders, and it
+//     conservatively merges all of them.
+//   - Locks with no stable cross-package identity (local sync.Mutex
+//     variables, anonymous-struct fields) are skipped entirely.
+//
+// Test files are excluded: the suite's invariants are production
+// invariants, and tests routinely pin snapshots repeatedly or call
+// primitives without fault plumbing.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+	"sync"
+
+	"hybridolap/internal/analysis"
+)
+
+// Summary is everything the interprocedural analyzers need to know about
+// one function body. All fields are plain values, safe to embed in gob
+// facts.
+type Summary struct {
+	// Calls are the statically resolved call edges, in source order.
+	Calls []Call
+	// Acquires are the lock acquisitions, in source order.
+	Acquires []Acquire
+	// Checks are the fault-point crossings performed directly by this
+	// body (calls to a Check method on a *fault.Plan with a named Point
+	// constant).
+	Checks []Check
+}
+
+// Call is one resolved call edge.
+type Call struct {
+	// PkgPath and ObjPath address the callee: the import path of its
+	// package and its analysis.ObjectPath within it ("o.Translate",
+	// "m.Store.CompactOnce").
+	PkgPath string
+	ObjPath string
+	// Held lists the canonical lock IDs held at the call site, in
+	// acquisition order.
+	Held []string
+	// Pos is the call position, valid against the run's shared FileSet.
+	Pos token.Pos
+	// Go marks a `go` statement: the callee runs on a fresh goroutine
+	// that holds none of Held — but was spawned while they were held.
+	Go bool
+}
+
+// Acquire is one lock acquisition (Lock or RLock).
+type Acquire struct {
+	// Lock is the canonical ID of the acquired lock.
+	Lock string
+	// Held lists the locks already held just before this acquisition.
+	Held []string
+	// SpawnHeld, inside the body of a `go func(){...}` literal, lists
+	// the locks the spawning goroutine held at the spawn point; nil
+	// elsewhere. An acquisition of a lock in SpawnHeld means the
+	// goroutine blocks until its spawner releases it.
+	SpawnHeld []string
+	// Pos is the acquisition position.
+	Pos token.Pos
+}
+
+// Check is one direct fault-point crossing.
+type Check struct {
+	// Point is the name of the fault.Point constant passed to Check
+	// ("WALAppend", "GPUExec", ...).
+	Point string
+	// Pos is the call position.
+	Pos token.Pos
+}
+
+// Func pairs one declared function with its summary.
+type Func struct {
+	// Obj is the declared function object.
+	Obj *types.Func
+	// Decl is the declaration (Body may be nil for assembly stubs).
+	Decl *ast.FuncDecl
+	// ObjPath is Obj's analysis.ObjectPath (always resolvable: only
+	// functions with a stable path are summarized).
+	ObjPath string
+	// Sum is the function's summary.
+	Sum *Summary
+}
+
+// Graph is the call-graph slice of one package: a summary per function
+// declared in its non-test files.
+type Graph struct {
+	// Funcs lists the summarized functions in source order.
+	Funcs []*Func
+	// ByObj indexes Funcs by declared object.
+	ByObj map[*types.Func]*Func
+	// ByPath indexes Funcs by object path, for resolving same-package
+	// call edges back to their summaries.
+	ByPath map[string]*Func
+}
+
+// cache memoizes Build per type-checked package, so the driver's four
+// interprocedural analyzers walking the same load share one graph
+// construction instead of four.
+var (
+	cacheMu sync.Mutex
+	cache   = map[*types.Package]*Graph{}
+)
+
+// Build returns the call-graph slice of the pass's package, constructing
+// it on first use and serving every later analyzer of the same run from
+// the cache.
+func Build(pass *analysis.Pass) *Graph {
+	cacheMu.Lock()
+	g, ok := cache[pass.Pkg]
+	cacheMu.Unlock()
+	if ok {
+		return g
+	}
+	g = build(pass)
+	cacheMu.Lock()
+	cache[pass.Pkg] = g
+	cacheMu.Unlock()
+	return g
+}
+
+func build(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		ByObj:  make(map[*types.Func]*Func),
+		ByPath: make(map[string]*Func),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.IsTestFile(fd.Pos()) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			objPath, ok := analysis.ObjectPath(obj)
+			if !ok {
+				continue
+			}
+			b := &builder{pass: pass, sum: &Summary{}}
+			b.walk(fd.Body)
+			fn := &Func{Obj: obj, Decl: fd, ObjPath: objPath, Sum: b.sum}
+			g.Funcs = append(g.Funcs, fn)
+			g.ByObj[obj] = fn
+			g.ByPath[objPath] = fn
+		}
+	}
+	return g
+}
+
+// builder walks one body (or one function literal) with its own lock
+// state, appending events to the shared summary.
+type builder struct {
+	pass *analysis.Pass
+	sum  *Summary
+	// held is the linear-model set of canonical lock IDs currently
+	// held, in acquisition order.
+	held []string
+	// spawnHeld is non-nil inside a go-literal: the spawner's held-set
+	// at the spawn point.
+	spawnHeld []string
+}
+
+func (b *builder) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			b.goStmt(n)
+			return false
+		case *ast.DeferStmt:
+			b.deferStmt(n)
+			return false
+		case *ast.FuncLit:
+			// A literal that is neither go'd nor deferred may run now or
+			// later; walk it with a clone of the current lock state and
+			// discard its mutations.
+			b.clone(b.held, b.spawnHeld).walk(n.Body)
+			return false
+		case *ast.CallExpr:
+			return b.call(n)
+		}
+		return true
+	})
+}
+
+// clone derives a builder for a nested body that must not mutate this
+// walk's lock state.
+func (b *builder) clone(held, spawnHeld []string) *builder {
+	return &builder{
+		pass:      b.pass,
+		sum:       b.sum,
+		held:      append([]string(nil), held...),
+		spawnHeld: append([]string(nil), spawnHeld...),
+	}
+}
+
+func (b *builder) goStmt(g *ast.GoStmt) {
+	// Arguments evaluate on the spawning goroutine.
+	for _, arg := range g.Call.Args {
+		b.walk(arg)
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		// The goroutine starts holding nothing; remember what the
+		// spawner held so lockorder can flag acquisitions that block on
+		// the spawn-point locks.
+		b.clone(nil, b.held).walk(lit.Body)
+		return
+	}
+	b.recordCall(g.Call, true)
+}
+
+func (b *builder) deferStmt(d *ast.DeferStmt) {
+	for _, arg := range d.Call.Args {
+		b.walk(arg)
+	}
+	if kind, _, ok := b.lockOp(d.Call); ok {
+		// A deferred Unlock runs at function exit: the lock stays held
+		// for the rest of the walk, which is exactly the runtime
+		// behaviour. A deferred Lock (vanishingly rare) is recorded at
+		// the defer point.
+		if kind == opLock {
+			b.acquireAt(d.Call)
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		b.clone(b.held, b.spawnHeld).walk(lit.Body)
+		return
+	}
+	b.recordCall(d.Call, false)
+}
+
+// call handles one call expression during the linear walk; the return
+// value feeds ast.Inspect (descend into children or not).
+func (b *builder) call(c *ast.CallExpr) bool {
+	if kind, id, ok := b.lockOp(c); ok {
+		switch kind {
+		case opLock:
+			b.acquire(id, c)
+		case opUnlock:
+			b.release(id)
+		}
+		return false
+	}
+	if pt, ok := b.faultCheck(c); ok {
+		b.sum.Checks = append(b.sum.Checks, Check{Point: pt, Pos: c.Pos()})
+		// Fall through: Check is also an ordinary call edge (it
+		// acquires the fault point's internal mutex).
+	}
+	b.recordCall(c, false)
+	return true
+}
+
+func (b *builder) recordCall(c *ast.CallExpr, isGo bool) {
+	fn := b.pass.PkgFunc(c)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	objPath, ok := analysis.ObjectPath(fn)
+	if !ok {
+		return
+	}
+	b.sum.Calls = append(b.sum.Calls, Call{
+		PkgPath: fn.Pkg().Path(),
+		ObjPath: objPath,
+		Held:    append([]string(nil), b.held...),
+		Pos:     c.Pos(),
+		Go:      isGo,
+	})
+}
+
+func (b *builder) acquire(id string, c *ast.CallExpr) {
+	b.sum.Acquires = append(b.sum.Acquires, Acquire{
+		Lock:      id,
+		Held:      append([]string(nil), b.held...),
+		SpawnHeld: append([]string(nil), b.spawnHeld...),
+		Pos:       c.Pos(),
+	})
+	for _, h := range b.held {
+		if h == id {
+			return
+		}
+	}
+	b.held = append(b.held, id)
+}
+
+func (b *builder) acquireAt(c *ast.CallExpr) {
+	if _, id, ok := b.lockOp(c); ok && id != "" {
+		b.acquire(id, c)
+	}
+}
+
+func (b *builder) release(id string) {
+	for i, h := range b.held {
+		if h == id {
+			b.held = append(b.held[:i], b.held[i+1:]...)
+			return
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp classifies c as a sync.Mutex/RWMutex (un)lock and returns the
+// canonical ID of the receiver lock. ok=true with id=="" means "a lock
+// operation on a lock with no stable identity" — the caller skips it.
+func (b *builder) lockOp(c *ast.CallExpr) (lockOpKind, string, bool) {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return 0, "", false
+	}
+	t := b.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !isSyncLock(t) {
+		return 0, "", false
+	}
+	id, _ := b.canonicalLock(sel.X)
+	return kind, id, true
+}
+
+// isSyncLock reports whether t (possibly behind a pointer) is sync.Mutex
+// or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// canonicalLock names the lock denoted by expr at type granularity:
+// "pkgpath:f.Type.field" for a mutex field of a package-scope named
+// struct, "pkgpath:o.name" for a package-level mutex variable. Locks
+// without a stable cross-package identity return ok=false.
+func (b *builder) canonicalLock(expr ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := b.pass.TypesInfo.Selections[e]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = b.pass.TypesInfo.Uses[e.Sel]
+		}
+	case *ast.Ident:
+		obj = b.pass.TypesInfo.Uses[e]
+	default:
+		return "", false
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	objPath, ok := analysis.ObjectPath(obj)
+	if !ok {
+		return "", false
+	}
+	return obj.Pkg().Path() + ":" + objPath, true
+}
+
+// faultCheck recognizes a call to the chaos layer's Check method — a
+// method named Check on a pointer to a named type Plan declared in a
+// package whose base name is "fault" — and returns the name of the
+// Point constant passed as its first argument.
+func (b *builder) faultCheck(c *ast.CallExpr) (string, bool) {
+	fn := b.pass.PkgFunc(c)
+	if fn == nil || fn.Name() != "Check" || fn.Pkg() == nil || path.Base(fn.Pkg().Path()) != "fault" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Plan" {
+		return "", false
+	}
+	if len(c.Args) == 0 {
+		return "", false
+	}
+	var constObj types.Object
+	switch a := ast.Unparen(c.Args[0]).(type) {
+	case *ast.SelectorExpr:
+		constObj = b.pass.TypesInfo.Uses[a.Sel]
+	case *ast.Ident:
+		constObj = b.pass.TypesInfo.Uses[a]
+	}
+	if _, ok := constObj.(*types.Const); !ok {
+		return "", false
+	}
+	return constObj.Name(), true
+}
+
+// Deps maps every package reachable from pkg's imports (plus pkg
+// itself) by import path. Analyzers use it to turn a Call's PkgPath and
+// ObjPath back into a types.Object so they can import facts about the
+// callee.
+func Deps(pkg *types.Package) map[string]*types.Package {
+	m := map[string]*types.Package{}
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		if _, ok := m[p.Path()]; ok {
+			return
+		}
+		m[p.Path()] = p
+		for _, imp := range p.Imports() {
+			visit(imp)
+		}
+	}
+	visit(pkg)
+	return m
+}
+
+// CalleeObject resolves a call edge to the callee's types.Object as seen
+// from the calling package (deps must come from Deps of that package).
+// Nil when the callee's package is not reachable — possible only for
+// synthetic edges, since a resolved call implies an import.
+func CalleeObject(deps map[string]*types.Package, c Call) types.Object {
+	pkg := deps[c.PkgPath]
+	if pkg == nil {
+		return nil
+	}
+	return analysis.ResolveObjectPath(pkg, c.ObjPath)
+}
+
+// LockDisplay renders a canonical lock ID for diagnostics:
+// "hybridolap/internal/ingest:f.Store.mu" becomes "ingest.Store.mu".
+func LockDisplay(id string) string {
+	pkgPath, objPath, ok := strings.Cut(id, ":")
+	if !ok {
+		return id
+	}
+	parts := strings.Split(objPath, ".")
+	if len(parts) < 2 {
+		return id
+	}
+	return path.Base(pkgPath) + "." + strings.Join(parts[1:], ".")
+}
+
+// FuncDisplay renders a callee address for diagnostics:
+// ("hybridolap/internal/ingest", "m.Store.CompactOnce") becomes
+// "ingest.Store.CompactOnce".
+func FuncDisplay(pkgPath, objPath string) string {
+	parts := strings.Split(objPath, ".")
+	if len(parts) < 2 {
+		return pkgPath + "." + objPath
+	}
+	return path.Base(pkgPath) + "." + strings.Join(parts[1:], ".")
+}
+
+// HasDirective reports whether the declaration's doc comment carries the
+// given olaplint marker ("olaplint:faultexempt", ...), following the
+// suite's convention of narrow, named-invariant waivers justified in the
+// same comment.
+func HasDirective(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}

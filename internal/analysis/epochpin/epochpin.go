@@ -1,0 +1,171 @@
+// Package epochpin enforces the bind-once discipline that keeps live-mode
+// answers bit-identical under concurrent ingest: a query captures the
+// current epoch snapshot exactly once, at bind time, and everything
+// downstream reads only that pinned *table.Snapshot.
+//
+// The primitives that observe the registry head are
+// (*table.Registry).Current and its live-store wrapper
+// (*ingest.Store).Current. Two rules guard them:
+//
+//  1. A function that already holds a bound *table.Snapshot parameter is
+//     downstream of bind time; if it re-reads the registry — directly,
+//     or through any statically resolved call whose callee transitively
+//     reads (that reachability crosses package boundaries as Reads
+//     object facts) — different parts of one query can observe
+//     different epochs, producing torn-epoch answers. Reported at the
+//     offending call.
+//  2. A function that reads the registry head at two or more call sites
+//     has two chances to observe different epochs; the second and later
+//     sites are reported. (The count is of call sites, not dynamic
+//     calls: a single site in a maintenance loop is legitimate.)
+//
+// Maintenance code that deliberately tracks the moving head — the
+// compactor loop, ingest admission — carries an `olaplint:epochexempt`
+// directive with a justification on the function's doc comment, which
+// waives both rules for that function.
+package epochpin
+
+import (
+	"go/types"
+	"path"
+
+	"hybridolap/internal/analysis"
+	"hybridolap/internal/analysis/callgraph"
+)
+
+// Reads is the object fact exported for every function that reads the
+// registry head, directly or transitively.
+type Reads struct {
+	// Via is the witness chain from the function to a primitive read,
+	// e.g. "engine.System.pin -> table.Registry.Current".
+	Via string
+}
+
+// AFact marks Reads as a serializable fact.
+func (*Reads) AFact() {}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochpin",
+	Doc: "live-mode queries must capture the epoch snapshot exactly once " +
+		"at bind time: flag registry re-reads downstream of a bound " +
+		"*table.Snapshot (interprocedurally, via facts) and functions " +
+		"reading the registry head at multiple sites",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Reads)(nil)},
+}
+
+// marker waives epochpin findings for one function.
+const marker = "olaplint:epochexempt"
+
+// isPrimitive reports whether a call edge targets one of the registry
+// head readers.
+func isPrimitive(c callgraph.Call) bool {
+	base := path.Base(c.PkgPath)
+	return (base == "table" && c.ObjPath == "m.Registry.Current") ||
+		(base == "ingest" && c.ObjPath == "m.Store.Current")
+}
+
+// hasSnapshotParam reports whether fn takes a *table.Snapshot
+// (pointer to a named type Snapshot declared in a package whose base
+// name is "table") — the shape of a query bound to its epoch.
+func hasSnapshotParam(fn *callgraph.Func) bool {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt, ok := sig.Params().At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := pt.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Snapshot" && obj.Pkg() != nil && path.Base(obj.Pkg().Path()) == "table" {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := callgraph.Build(pass)
+	deps := callgraph.Deps(pass.Pkg)
+
+	// readVia maps the object path of every same-package reader to its
+	// witness chain; cross-package readers resolve through facts.
+	readVia := make(map[string]string)
+	calleeReads := func(c callgraph.Call) (string, bool) {
+		display := callgraph.FuncDisplay(c.PkgPath, c.ObjPath)
+		if isPrimitive(c) {
+			return display, true
+		}
+		if c.PkgPath == pass.Pkg.Path() {
+			via, ok := readVia[c.ObjPath]
+			if !ok {
+				return "", false
+			}
+			return display + " -> " + via, true
+		}
+		obj := callgraph.CalleeObject(deps, c)
+		if obj == nil {
+			return "", false
+		}
+		var fact Reads
+		if !pass.ImportObjectFact(obj, &fact) {
+			return "", false
+		}
+		return display + " -> " + fact.Via, true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs {
+			if _, done := readVia[fn.ObjPath]; done {
+				continue
+			}
+			for _, c := range fn.Sum.Calls {
+				if via, ok := calleeReads(c); ok {
+					readVia[fn.ObjPath] = via
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range g.Funcs {
+		if via, ok := readVia[fn.ObjPath]; ok {
+			pass.ExportObjectFact(fn.Obj, &Reads{Via: via})
+		}
+	}
+
+	for _, fn := range g.Funcs {
+		if callgraph.HasDirective(fn.Decl, marker) {
+			continue
+		}
+		disp := callgraph.FuncDisplay(pass.Pkg.Path(), fn.ObjPath)
+		bound := hasSnapshotParam(fn)
+		primitiveSites := 0
+		for _, c := range fn.Sum.Calls {
+			prim := isPrimitive(c)
+			if bound {
+				if via, ok := calleeReads(c); ok {
+					pass.Reportf(c.Pos, "%s takes a bound *table.Snapshot but re-reads the snapshot registry via %s: a query must capture its epoch exactly once at bind time",
+						disp, via)
+					continue
+				}
+			}
+			if !prim {
+				continue
+			}
+			primitiveSites++
+			if !bound && primitiveSites > 1 {
+				pass.Reportf(c.Pos, "%s re-reads the current epoch snapshot (read site %d in this function): capture the epoch once at bind time and thread the snapshot",
+					disp, primitiveSites)
+			}
+		}
+	}
+	return nil, nil
+}

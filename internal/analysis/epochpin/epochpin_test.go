@@ -1,0 +1,17 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/epochpin"
+)
+
+// TestFixture runs the analyzer over a three-package module shaped like
+// the production engine: table owns the registry primitive, ingest
+// wraps it (its Epoch reader crosses to engine as a Reads fact), and
+// engine holds the bound-snapshot violations, the double-bind, and the
+// olaplint:epochexempt waiver.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", epochpin.Analyzer)
+}

@@ -1,0 +1,63 @@
+// Package engine exercises both rules: registry re-reads downstream of
+// a bound snapshot (directly, through a same-package helper, and
+// through an imported Reads fact) and multi-site head reads.
+package engine
+
+import (
+	"fix/ingest"
+	"fix/table"
+)
+
+// System binds queries against the live store.
+type System struct {
+	reg *table.Registry
+	st  *ingest.Store
+}
+
+// pin captures the epoch once at bind time.
+func (s *System) pin() *table.Snapshot { return s.reg.Current() }
+
+// Run binds once, then threads the snapshot: the sanctioned shape.
+func (s *System) Run() uint64 {
+	snap := s.pin()
+	return s.exec(snap)
+}
+
+// exec is downstream of bind time but re-reads the registry directly.
+func (s *System) exec(snap *table.Snapshot) uint64 {
+	fresh := s.reg.Current() // want `engine\.System\.exec takes a bound \*table\.Snapshot but re-reads the snapshot registry via table\.Registry\.Current`
+	return snap.Epoch() + fresh.Epoch()
+}
+
+// execVia re-reads through a same-package helper.
+func (s *System) execVia(snap *table.Snapshot) uint64 {
+	other := s.pin() // want `engine\.System\.execVia takes a bound \*table\.Snapshot but re-reads the snapshot registry via engine\.System\.pin -> table\.Registry\.Current`
+	return snap.Epoch() + other.Epoch()
+}
+
+// execRemote re-reads through another package; the reachability arrives
+// as a Reads fact on ingest.Store.Epoch.
+func (s *System) execRemote(snap *table.Snapshot) uint64 {
+	return snap.Epoch() + s.st.Epoch() // want `engine\.System\.execRemote takes a bound \*table\.Snapshot but re-reads the snapshot registry via ingest\.Store\.Epoch -> table\.Registry\.Current`
+}
+
+// DoubleBind captures the epoch at two sites.
+func (s *System) DoubleBind() uint64 {
+	a := s.reg.Current()
+	b := s.st.Current() // want `engine\.System\.DoubleBind re-reads the current epoch snapshot \(read site 2 in this function\): capture the epoch once at bind time and thread the snapshot`
+	return a.Epoch() + b.Epoch()
+}
+
+// Maintenance deliberately tracks the moving head.
+//
+// olaplint:epochexempt: maintenance loop, not a query; every iteration
+// must observe the latest published epoch to make progress.
+func (s *System) Maintenance(snap *table.Snapshot) uint64 {
+	return snap.Epoch() + s.reg.Current().Epoch()
+}
+
+var _ = (*System)(nil).Run
+var _ = (*System)(nil).execVia
+var _ = (*System)(nil).execRemote
+var _ = (*System)(nil).DoubleBind
+var _ = (*System)(nil).Maintenance

@@ -1,0 +1,18 @@
+// Package ingest mirrors the production live store: Current is the
+// second primitive, and Epoch is a non-primitive reader whose Reads
+// fact flows to dependent packages.
+package ingest
+
+import "fix/table"
+
+// Store wraps the registry.
+type Store struct {
+	reg *table.Registry
+}
+
+// Current returns the head snapshot of the live table.
+func (s *Store) Current() *table.Snapshot { return s.reg.Current() }
+
+// Epoch reads the registry head; importers learn that only through the
+// exported Reads fact.
+func (s *Store) Epoch() uint64 { return s.reg.Current().Epoch() }

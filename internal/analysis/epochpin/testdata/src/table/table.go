@@ -1,0 +1,19 @@
+// Package table mirrors the production epoch registry: Current returns
+// the head snapshot and is the primitive read the analyzer guards.
+package table
+
+// Snapshot is one immutable epoch of the table.
+type Snapshot struct {
+	epoch uint64
+}
+
+// Epoch identifies the snapshot.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Registry publishes snapshots.
+type Registry struct {
+	cur *Snapshot
+}
+
+// Current returns the head snapshot.
+func (r *Registry) Current() *Snapshot { return r.cur }

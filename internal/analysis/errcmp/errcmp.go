@@ -1,0 +1,195 @@
+// Package errcmp flags error comparisons that break under wrapping:
+// `==`/`!=` against sentinel error variables where errors.Is is
+// required, and type assertions or type switches on typed errors where
+// errors.As is required.
+//
+// The repository's error surfaces wrap deliberately — ingest returns
+// `fmt.Errorf("...: %w", ErrDegraded)` and *DurabilityError carries the
+// failed partition behind an Unwrap chain, fault injection wraps
+// ErrInjected in *fault.Error — so a direct identity comparison that
+// happens to pass today silently stops matching the moment a call site
+// adds context with %w. The analyzer reports every such comparison; when
+// the file already imports "errors", the `==`/`!=` form carries a
+// suggested fix rewriting it to errors.Is (the assertion forms need a
+// target variable and are report-only).
+//
+// Comparisons with nil are exempt, as are type assertions to
+// non-error types. A sentinel is any package-level error-typed
+// variable, in this module or not (io.EOF counts).
+package errcmp
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"hybridolap/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "flag ==/!= comparisons against sentinel errors and type " +
+		"assertions on typed errors; wrapped errors require errors.Is / " +
+		"errors.As (the comparison form gets a fix when the file imports " +
+		"\"errors\")",
+	Run: run,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// isError reports whether t implements the error interface (pointer
+// receivers included: sentinels and typed errors are compared as
+// interface values).
+func isError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface := errType.Underlying().(*types.Interface)
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// The errors.Is rewrite is only offered when the file already
+		// imports "errors" — the fix engine performs textual edits and
+		// must not have to restructure the import block.
+		errorsName := ""
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"errors"` {
+				errorsName = "errors"
+				if imp.Name != nil {
+					errorsName = imp.Name.Name
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n, errorsName)
+			case *ast.TypeAssertExpr:
+				checkAssert(pass, n)
+			case *ast.TypeSwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCompare flags `x == Sentinel` / `x != Sentinel`.
+func checkCompare(pass *analysis.Pass, e *ast.BinaryExpr, errorsName string) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	var sentinel, other ast.Expr
+	if isSentinel(pass, e.Y) {
+		sentinel, other = e.Y, e.X
+	} else if isSentinel(pass, e.X) {
+		sentinel, other = e.X, e.Y
+	} else {
+		return
+	}
+	if !isError(pass.TypesInfo.TypeOf(other)) {
+		return
+	}
+	msg := "comparison with sentinel error " + exprString(sentinel) + " uses " + e.Op.String() +
+		": use errors.Is to match wrapped errors"
+	if errorsName == "" || errorsName == "_" {
+		pass.Reportf(e.Pos(), "%s", msg)
+		return
+	}
+	not := ""
+	if e.Op == token.NEQ {
+		not = "!"
+	}
+	rewrite := not + errorsName + ".Is(" + exprString(other) + ", " + exprString(sentinel) + ")"
+	pass.ReportWithFix(e.Pos(), msg, analysis.SuggestedFix{
+		Message:   "rewrite to " + errorsName + ".Is",
+		TextEdits: []analysis.TextEdit{{Pos: e.Pos(), End: e.End(), NewText: rewrite}},
+	})
+}
+
+// isSentinel reports whether expr denotes a package-level error-typed
+// variable (ErrDegraded, io.EOF, ...).
+func isSentinel(pass *analysis.Pass, expr ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return isError(v.Type())
+}
+
+// checkAssert flags `x.(*SomeError)` when x is an error value.
+func checkAssert(pass *analysis.Pass, e *ast.TypeAssertExpr) {
+	if e.Type == nil {
+		return // `x.(type)` inside a type switch; checkSwitch handles it
+	}
+	if !isErrorInterface(pass.TypesInfo.TypeOf(e.X)) || !isError(pass.TypesInfo.TypeOf(e.Type)) {
+		return
+	}
+	pass.Reportf(e.Pos(), "type assertion on error to %s: use errors.As to match wrapped errors",
+		exprString(e.Type))
+}
+
+// checkSwitch flags `switch err.(type)` with error-typed cases.
+func checkSwitch(pass *analysis.Pass, s *ast.TypeSwitchStmt) {
+	var assert *ast.TypeAssertExpr
+	switch stmt := s.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = stmt.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(stmt.Rhs) == 1 {
+			assert, _ = stmt.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil || !isErrorInterface(pass.TypesInfo.TypeOf(assert.X)) {
+		return
+	}
+	for _, clause := range s.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, t := range cc.List {
+			tt := pass.TypesInfo.TypeOf(t)
+			if tt != nil && !types.Identical(tt, errType) && isError(tt) {
+				pass.Reportf(s.Pos(), "type switch on error value: use errors.As to match wrapped errors")
+				return
+			}
+		}
+	}
+}
+
+// isErrorInterface reports whether t is an interface type satisfying
+// error — the static type a wrapped error hides behind.
+func isErrorInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return isError(t)
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

@@ -1,0 +1,16 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/errcmp"
+)
+
+// TestFixture covers sentinel ==/!= (fixed to errors.Is via the golden
+// file), type assertion and type switch on typed errors (report-only),
+// the nil exemption, and the no-"errors"-import file where the finding
+// must carry no fix.
+func TestFixture(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", errcmp.Analyzer)
+}

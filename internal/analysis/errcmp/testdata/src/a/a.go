@@ -1,0 +1,61 @@
+// Package a compares errors every way the analyzer cares about.
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrClosed is the package sentinel; call sites may wrap it with %w.
+var ErrClosed = errors.New("closed")
+
+// DurabilityError is a typed error carrying context.
+type DurabilityError struct{ Part int }
+
+func (e *DurabilityError) Error() string { return "durability" }
+
+// Eq compares identity where matching is meant.
+func Eq(err error) bool {
+	return err == ErrClosed // want `comparison with sentinel error ErrClosed uses ==: use errors\.Is to match wrapped errors`
+}
+
+// Neq hits the negated form, against a stdlib sentinel.
+func Neq(err error) bool {
+	if io.EOF != err { // want `comparison with sentinel error io\.EOF uses !=: use errors\.Is to match wrapped errors`
+		return true
+	}
+	return false
+}
+
+// NilCheck is fine: nil is not a sentinel.
+func NilCheck(err error) bool { return err == nil }
+
+// Assert unwraps by assertion; a wrapped *DurabilityError slips past.
+func Assert(err error) int {
+	if de, ok := err.(*DurabilityError); ok { // want `type assertion on error to \*DurabilityError: use errors\.As to match wrapped errors`
+		return de.Part
+	}
+	return -1
+}
+
+// Switch does the same through a type switch.
+func Switch(err error) int {
+	switch e := err.(type) { // want `type switch on error value: use errors\.As to match wrapped errors`
+	case *DurabilityError:
+		return e.Part
+	default:
+		return 0
+	}
+}
+
+// IsOK and AsOK are the sanctioned forms.
+func IsOK(err error) bool { return errors.Is(err, ErrClosed) }
+
+// AsOK matches the typed error through the wrap chain.
+func AsOK(err error) int {
+	var de *DurabilityError
+	if errors.As(err, &de) {
+		return de.Part
+	}
+	return -1
+}

@@ -1,0 +1,10 @@
+// noimport.go has no "errors" import, so the finding is report-only:
+// the fix engine edits text and must not restructure import blocks.
+package a
+
+import "io"
+
+// EqNoImport still gets the diagnostic, just no suggested fix.
+func EqNoImport(err error) bool {
+	return err == io.EOF // want `comparison with sentinel error io\.EOF uses ==: use errors\.Is to match wrapped errors`
+}

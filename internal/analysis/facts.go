@@ -145,6 +145,35 @@ func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
 	return p.facts.get(p.Analyzer.Name, pkg.Path(), "", fact)
 }
 
+// ObjectPath returns the stable textual address of obj within its
+// package, or ok=false when the object has no cross-package address. It
+// is the identity the fact store keys facts by; interprocedural analyzers
+// (see the callgraph package) use it to name call-graph nodes the same
+// way whether a function was seen as parsed source or as export data.
+func ObjectPath(obj types.Object) (string, bool) {
+	return objectPath(obj)
+}
+
+// ResolveObjectPath is ObjectPath's inverse: it finds the object a path
+// denotes inside pkg, or nil.
+func ResolveObjectPath(pkg *types.Package, path string) types.Object {
+	return resolveObjectPath(pkg, path)
+}
+
+// packageFacts returns the serialized package-level facts (obj == "") of
+// one analyzer and fact type, keyed by package import path. The Finish
+// phase uses it to assemble a whole-program view from per-package
+// exports.
+func (s *factStore) packageFacts(analyzer, typ string) map[string][]byte {
+	out := make(map[string][]byte)
+	for k, v := range s.m {
+		if k.analyzer == analyzer && k.obj == "" && k.typ == typ {
+			out[k.pkg] = v
+		}
+	}
+	return out
+}
+
 // objectPath returns a stable textual address for obj within its package,
 // resolvable against any view of that package (parsed source or export
 // data). Supported shapes:

@@ -1,0 +1,18 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/faultpoint"
+)
+
+// TestFixture runs the analyzer over a five-package module shaped like
+// the production tree: fault owns Plan.Check, ingest and gpusim hold
+// the guarded primitives and must-cross entry points (with direct,
+// helper-mediated and missing crossings), and engine consumes a
+// Crossed fact exported across the dependency edge plus the
+// olaplint:faultexempt waiver.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", faultpoint.Analyzer)
+}

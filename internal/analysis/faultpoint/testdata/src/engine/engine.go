@@ -1,0 +1,46 @@
+// Package engine exercises the guarded-call rule across a package
+// boundary: DictGuard's crossing arrives as a Crossed fact on
+// ingest.Store.DictGuard.
+package engine
+
+import (
+	"fix/fault"
+	"fix/ingest"
+	"fix/query"
+)
+
+// System executes queries.
+type System struct {
+	faults *fault.Plan
+	st     *ingest.Store
+}
+
+// Run crosses the dictionary fault point before translating: fine.
+func (s *System) Run(q string) int {
+	if err := s.faults.Check(fault.DictLookup, 0); err != nil {
+		return -1
+	}
+	return query.Translate(q)
+}
+
+// RunBare translates without the fault point.
+func (s *System) RunBare(q string) int {
+	return query.Translate(q) // want `engine\.System\.RunBare calls query\.Translate without crossing the fault\.DictLookup injection point`
+}
+
+// RunRemote crosses DictLookup through an ingest helper in another
+// package: fine, via the imported fact.
+func (s *System) RunRemote(q string) int {
+	if err := s.st.DictGuard(); err != nil {
+		return -1
+	}
+	return query.Translate(q)
+}
+
+// RunReference is an offline reference path with a justified waiver.
+//
+// olaplint:faultexempt: offline reference executor, runs before the
+// chaos plan is armed; injecting here would only fail the oracle.
+func (s *System) RunReference(q string) int {
+	return query.Translate(q)
+}

@@ -1,0 +1,21 @@
+// Package fault mirrors the production chaos layer: a Plan with a
+// Check method taking a named Point constant.
+package fault
+
+// Point names one instrumented operation.
+type Point int
+
+// The instrumented operations.
+const (
+	GPUExec Point = iota
+	DictLookup
+	WALAppend
+	WALSync
+	Compaction
+)
+
+// Plan decides which operations fail.
+type Plan struct{}
+
+// Check consults the plan at one fault point.
+func (p *Plan) Check(pt Point, part int) error { return nil }

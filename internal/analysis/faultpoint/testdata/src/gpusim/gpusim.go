@@ -1,0 +1,29 @@
+// Package gpusim mirrors the simulated accelerator: the Execute family
+// must cross fault.GPUExec, normally through the device's faultCheck
+// wrapper.
+package gpusim
+
+import "fix/fault"
+
+// Device simulates the accelerator.
+type Device struct {
+	faults *fault.Plan
+}
+
+func (d *Device) faultCheck(part int) error {
+	return d.faults.Check(fault.GPUExec, part)
+}
+
+// Partition is one resident partition.
+type Partition struct {
+	dev *Device
+	id  int
+}
+
+// Execute crosses gpu-exec through the device wrapper: fine.
+func (p *Partition) Execute() error { return p.dev.faultCheck(p.id) }
+
+// ExecuteGroup skips the wrapper.
+func (p *Partition) ExecuteGroup() error { // want `gpusim\.Partition\.ExecuteGroup must cross the fault\.GPUExec injection point but never does`
+	return nil
+}

@@ -1,0 +1,53 @@
+// Package ingest mirrors the production store: the WAL primitives are
+// guarded, CompactOnce is a must-cross entry point, and DictGuard
+// exports its crossing to dependent packages as a Crossed fact.
+package ingest
+
+import "fix/fault"
+
+// Log is the WAL; Append and Sync are the guarded primitives.
+type Log struct{}
+
+// Append writes one record.
+func (l *Log) Append(rec []byte) error { return nil }
+
+// Sync flushes the WAL to stable storage.
+func (l *Log) Sync() error { return nil }
+
+// Store owns the WAL and the chaos plan.
+type Store struct {
+	log    *Log
+	faults *fault.Plan
+}
+
+// Ingest threads the WAL-append fault point before writing: fine.
+func (s *Store) Ingest(rec []byte) error {
+	if err := s.faults.Check(fault.WALAppend, 0); err != nil {
+		return err
+	}
+	return s.log.Append(rec)
+}
+
+// syncGuard crosses the WAL-sync point on behalf of its callers.
+func (s *Store) syncGuard() error { return s.faults.Check(fault.WALSync, 0) }
+
+// Checkpoint crosses WALSync through syncGuard: fine.
+func (s *Store) Checkpoint() error {
+	if err := s.syncGuard(); err != nil {
+		return err
+	}
+	return s.log.Sync()
+}
+
+// SyncBare flushes without consulting the chaos plan.
+func (s *Store) SyncBare() error {
+	return s.log.Sync() // want `ingest\.Store\.SyncBare calls ingest\.Log\.Sync without crossing the fault\.WALSync injection point`
+}
+
+// CompactOnce folds deltas but never consults the chaos plan.
+func (s *Store) CompactOnce() error { // want `ingest\.Store\.CompactOnce must cross the fault\.Compaction injection point but never does`
+	return nil
+}
+
+// DictGuard crosses the dictionary fault point for engine callers.
+func (s *Store) DictGuard() error { return s.faults.Check(fault.DictLookup, 0) }

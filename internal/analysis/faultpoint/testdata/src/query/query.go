@@ -1,0 +1,6 @@
+// Package query holds the guarded translation primitive.
+package query
+
+// Translate resolves a predicate string to a dictionary code; callers
+// must cross fault.DictLookup.
+func Translate(q string) int { return len(q) }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -14,6 +15,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // Package is one loaded, parsed and type-checked package ready for
@@ -115,7 +117,7 @@ func goList(dir string, patterns []string) ([]listedPkg, error) {
 	dec := json.NewDecoder(&stdout)
 	for {
 		var lp listedPkg
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("decoding go list output: %v", err)
@@ -192,10 +194,29 @@ func dependencyOrder(pkgs []*Package) []*Package {
 // facts exported by a pass are importable by passes on dependent packages
 // — and returns the combined diagnostics.
 func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := AnalyzeTimed(pkgs, analyzers)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's aggregate wall time across every
+// package (and its Finish hook) of one AnalyzeTimed call.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// AnalyzeTimed is Analyze plus per-analyzer wall times, in registry
+// order, for the driver's -timing flag. All analyzers share the single
+// load the caller performed — the dominant cost of a lint run is `go
+// list -export` plus type checking, paid once here regardless of how
+// many analyzers run.
+func AnalyzeTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	ordered := dependencyOrder(pkgs)
 	facts := newFactStore()
 	var diags []Diagnostic
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
+		t0 := time.Now()
 		for _, pkg := range ordered {
 			pass := &Pass{
 				Analyzer:  a,
@@ -219,6 +240,25 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				})
 			}
 		}
+		if a.Finish != nil {
+			fp := &FinishPass{
+				Analyzer: a,
+				Fset:     ordered[0].Fset,
+				Pkgs:     ordered,
+				Report: func(d Diagnostic) {
+					diags = append(diags, d)
+				},
+				facts: facts,
+			}
+			if err := a.Finish(fp); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      ordered[0].Files[0].Package,
+					Message:  fmt.Sprintf("analyzer finish failed: %v", err),
+					Analyzer: a.Name,
+				})
+			}
+		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: time.Since(t0)})
 	}
-	return diags
+	return diags, timings
 }

@@ -1,0 +1,291 @@
+// Package lockorder builds the program's global lock-acquisition-order
+// graph and reports ordering cycles — potential deadlocks — with the
+// witness positions where each conflicting order was observed.
+//
+// The engine's concurrency story spans packages that never import each
+// other: the scheduler mutex in internal/engine, the store and WAL
+// mutexes in internal/ingest, the per-point chaos mutexes in
+// internal/fault. A deadlock needs only two goroutines acquiring two of
+// those locks in opposite orders, and no single-package check can see
+// both halves. This analyzer records, per package, every "acquired B
+// while holding A" event (directly, or through a statically resolved
+// call whose callee transitively acquires B — callee acquire sets flow
+// across package boundaries as object facts) and assembles the edges in
+// a whole-program Finish phase. Every edge that lies on a cycle of the
+// resulting order graph is reported at its witness position.
+//
+// A second, per-package rule flags goroutines spawned while a lock is
+// held when the spawned function (or the go-literal body) acquires that
+// same lock: the goroutine cannot make progress until its spawner
+// unlocks, which is at best a stall and at worst — if the spawner waits
+// for the goroutine — a deadlock. Sanctioned cases carry an
+// `olaplint:lockorder` directive on the enclosing function's doc
+// comment, with a justification, which waives all lockorder findings
+// and edge contributions from that function.
+//
+// Locks are identified at type granularity (every ingest.Store shares
+// one identity for its mu field); function values and interface calls
+// contribute no edges. See DESIGN.md "Interprocedural analysis" for the
+// soundness consequences of both choices.
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"hybridolap/internal/analysis"
+	"hybridolap/internal/analysis/callgraph"
+)
+
+// Acquires is the object fact exported for every function that acquires
+// locks, directly or transitively: the sorted canonical IDs of those
+// locks. Passes on dependent packages import it to extend held-lock
+// order edges through cross-package calls.
+type Acquires struct {
+	Locks []string
+}
+
+// AFact marks Acquires as a serializable fact.
+func (*Acquires) AFact() {}
+
+// Edges is the package fact carrying the lock-order edges observed in
+// one package. The Finish phase merges every package's Edges into the
+// global order graph.
+type Edges struct {
+	List []Edge
+}
+
+// AFact marks Edges as a serializable fact.
+func (*Edges) AFact() {}
+
+// Edge is one observed acquisition order: To was acquired while From
+// was held.
+type Edge struct {
+	From, To string // canonical lock IDs
+	Fn       string // display name of the function the order was seen in
+	Via      string // callee display name when the edge crosses a call; ""
+	Pos      token.Pos
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "build the global lock-acquisition graph from per-function " +
+		"summaries and report ordering cycles (potential deadlocks) with " +
+		"witness positions, plus goroutines spawned under a lock they " +
+		"themselves acquire",
+	Run:       run,
+	Finish:    finish,
+	FactTypes: []analysis.Fact{(*Acquires)(nil), (*Edges)(nil)},
+}
+
+// marker waives lockorder findings for one function.
+const marker = "olaplint:lockorder"
+
+func run(pass *analysis.Pass) (any, error) {
+	g := callgraph.Build(pass)
+	deps := callgraph.Deps(pass.Pkg)
+
+	// calleeLocks resolves the transitive acquire set of a call edge's
+	// callee: same-package callees from the fixed point below,
+	// cross-package ones from the Acquires facts their passes exported
+	// (dependencies run first).
+	trans := make(map[*callgraph.Func]map[string]bool, len(g.Funcs))
+	for _, fn := range g.Funcs {
+		set := make(map[string]bool)
+		for _, a := range fn.Sum.Acquires {
+			if a.Lock != "" {
+				set[a.Lock] = true
+			}
+		}
+		trans[fn] = set
+	}
+	external := make(map[string][]string) // "pkg:objpath" -> locks
+	calleeLocks := func(c callgraph.Call) []string {
+		if c.PkgPath == pass.Pkg.Path() {
+			if callee := g.ByPath[c.ObjPath]; callee != nil {
+				return sortedKeys(trans[callee])
+			}
+			return nil
+		}
+		key := c.PkgPath + ":" + c.ObjPath
+		if locks, ok := external[key]; ok {
+			return locks
+		}
+		var locks []string
+		if obj := callgraph.CalleeObject(deps, c); obj != nil {
+			var fact Acquires
+			if pass.ImportObjectFact(obj, &fact) {
+				locks = fact.Locks
+			}
+		}
+		external[key] = locks
+		return locks
+	}
+
+	// Close the same-package sets over same-package calls (external
+	// callee sets are already transitive: their packages were analyzed
+	// to fixed point first).
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs {
+			set := trans[fn]
+			for _, c := range fn.Sum.Calls {
+				if c.Go {
+					continue // runs on another goroutine; the spawner acquires nothing
+				}
+				for _, l := range calleeLocks(c) {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, fn := range g.Funcs {
+		if len(trans[fn]) > 0 {
+			pass.ExportObjectFact(fn.Obj, &Acquires{Locks: sortedKeys(trans[fn])})
+		}
+	}
+
+	var edges []Edge
+	for _, fn := range g.Funcs {
+		if callgraph.HasDirective(fn.Decl, marker) {
+			continue
+		}
+		disp := callgraph.FuncDisplay(pass.Pkg.Path(), fn.ObjPath)
+		for _, a := range fn.Sum.Acquires {
+			if a.Lock == "" {
+				continue
+			}
+			for _, h := range a.Held {
+				edges = append(edges, Edge{From: h, To: a.Lock, Fn: disp, Pos: a.Pos})
+			}
+			for _, h := range a.SpawnHeld {
+				if h == a.Lock {
+					pass.Reportf(a.Pos, "goroutine acquires %s, which its spawner still holds at the go statement (potential deadlock)",
+						callgraph.LockDisplay(a.Lock))
+				}
+			}
+		}
+		for _, c := range fn.Sum.Calls {
+			locks := calleeLocks(c)
+			if len(locks) == 0 || len(c.Held) == 0 {
+				continue
+			}
+			callee := callgraph.FuncDisplay(c.PkgPath, c.ObjPath)
+			if c.Go {
+				for _, h := range c.Held {
+					if contains(locks, h) {
+						pass.Reportf(c.Pos, "go statement spawns %s while holding %s, which it acquires (potential deadlock)",
+							callee, callgraph.LockDisplay(h))
+					}
+				}
+				continue
+			}
+			for _, h := range c.Held {
+				for _, l := range locks {
+					edges = append(edges, Edge{From: h, To: l, Fn: disp, Via: callee, Pos: c.Pos})
+				}
+			}
+		}
+	}
+	if len(edges) > 0 {
+		pass.ExportPackageFact(&Edges{List: edges})
+	}
+	return nil, nil
+}
+
+// finish merges every package's edges into the global order graph and
+// reports each distinct (From, To) pair that lies on a cycle, at the
+// first witness position observed for that pair.
+func finish(fp *analysis.FinishPass) error {
+	type pair struct{ from, to string }
+	byPair := make(map[pair]Edge)
+	var order []pair
+	for _, pf := range fp.AllPackageFacts(&Edges{}) {
+		for _, e := range pf.Fact.(*Edges).List {
+			k := pair{e.From, e.To}
+			if _, ok := byPair[k]; !ok {
+				byPair[k] = e
+				order = append(order, k)
+			}
+		}
+	}
+	adj := make(map[string][]string)
+	for _, k := range order {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	for _, k := range order {
+		e := byPair[k]
+		path := reach(adj, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		names := []string{callgraph.LockDisplay(e.From)}
+		for _, n := range path {
+			names = append(names, callgraph.LockDisplay(n))
+		}
+		via := ""
+		if e.Via != "" {
+			via = fmt.Sprintf(" (via call to %s)", e.Via)
+		}
+		fp.Reportf(e.Pos, "lock ordering cycle (potential deadlock): %s acquires %s while holding %s%s; cycle: %s",
+			e.Fn, callgraph.LockDisplay(e.To), callgraph.LockDisplay(e.From), via, strings.Join(names, " -> "))
+	}
+	return nil
+}
+
+// reach returns a path of lock IDs from `from` to `to` along adj,
+// inclusive of both endpoints ([from] when from == to), or nil when `to`
+// is unreachable.
+func reach(adj map[string][]string, from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	parent := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[n] {
+			if _, seen := parent[next]; seen {
+				continue
+			}
+			parent[next] = n
+			if next == to {
+				var path []string
+				for at := to; ; at = parent[at] {
+					path = append([]string{at}, path...)
+					if at == from {
+						return path
+					}
+				}
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

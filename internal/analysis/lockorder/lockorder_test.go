@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/lockorder"
+)
+
+// TestFixture runs the analyzer over a three-package module: the
+// ordering cycle spans base (MuB before MuA) and app (MuA before MuB,
+// where the MuB half arrives as an imported Acquires fact), and spawn
+// covers the goroutine-under-held-lock rules and the directive waiver.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Package app holds base.MuA while calling into base, completing the
+// acquisition-order cycle whose other half is base.Reverse. The MuB
+// acquisition is invisible in this package's source — it arrives as an
+// Acquires fact on base.LockB.
+package app
+
+import "fix/base"
+
+// Forward acquires MuB (through base.LockB) while holding MuA.
+func Forward() {
+	base.MuA.Lock()
+	defer base.MuA.Unlock()
+	base.LockB() // want `lock ordering cycle \(potential deadlock\): app\.Forward acquires base\.MuB while holding base\.MuA \(via call to base\.LockB\); cycle: base\.MuA -> base\.MuB -> base\.MuA`
+}
+
+// Consistent repeats the MuA -> MuB order directly: the same edge pair,
+// so the cycle is still reported only at its first witness (Forward).
+func Consistent() {
+	base.MuA.Lock()
+	base.MuB.Lock()
+	base.MuB.Unlock()
+	base.MuA.Unlock()
+}
+
+// Sequential holds nothing across the two acquisitions: no edge.
+func Sequential() {
+	base.MuB.Lock()
+	base.MuB.Unlock()
+	base.MuA.Lock()
+	base.MuA.Unlock()
+}

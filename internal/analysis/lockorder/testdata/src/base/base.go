@@ -1,0 +1,27 @@
+// Package base owns two package-level locks and one half of an
+// acquisition-order cycle; the other half lives in package app, which
+// imports this one — no single package sees both orders.
+package base
+
+import "sync"
+
+// MuA and MuB are the locks shared with dependent packages.
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// LockB acquires MuB with nothing held: no order edge by itself, but
+// its Acquires fact lets callers extend their own held-sets through it.
+func LockB() {
+	MuB.Lock()
+	defer MuB.Unlock()
+}
+
+// Reverse acquires MuA while holding MuB.
+func Reverse() {
+	MuB.Lock()
+	defer MuB.Unlock()
+	MuA.Lock() // want `lock ordering cycle \(potential deadlock\): base\.Reverse acquires base\.MuA while holding base\.MuB; cycle: base\.MuB -> base\.MuA -> base\.MuB`
+	MuA.Unlock()
+}

@@ -1,0 +1,58 @@
+// Package spawn exercises the per-package rules: goroutines spawned
+// while a lock they acquire is held, re-entrant acquisition through a
+// call (a self-cycle), and the olaplint:lockorder waiver.
+package spawn
+
+import "sync"
+
+// Worker guards its state with one mutex.
+type Worker struct {
+	mu sync.Mutex
+}
+
+func (w *Worker) run() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+}
+
+// Start spawns run while holding the lock run acquires.
+func (w *Worker) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go w.run() // want `go statement spawns spawn\.Worker\.run while holding spawn\.Worker\.mu, which it acquires \(potential deadlock\)`
+}
+
+// StartLit hits the same hazard through a go-literal body.
+func (w *Worker) StartLit() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		w.mu.Lock() // want `goroutine acquires spawn\.Worker\.mu, which its spawner still holds at the go statement \(potential deadlock\)`
+		w.mu.Unlock()
+	}()
+}
+
+// StartDetached releases the lock before spawning: fine.
+func (w *Worker) StartDetached() {
+	w.mu.Lock()
+	w.mu.Unlock()
+	go w.run()
+}
+
+// Reenter calls a lock-acquiring method while already holding that
+// lock: a guaranteed self-deadlock, reported as a one-lock cycle.
+func (w *Worker) Reenter() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.run() // want `lock ordering cycle \(potential deadlock\): spawn\.Worker\.Reenter acquires spawn\.Worker\.mu while holding spawn\.Worker\.mu \(via call to spawn\.Worker\.run\); cycle: spawn\.Worker\.mu -> spawn\.Worker\.mu`
+}
+
+// StartSanctioned is Start with a justified waiver.
+//
+// olaplint:lockorder: the spawner unlocks on return, immediately after
+// the go statement; the goroutine merely waits for construction to end.
+func (w *Worker) StartSanctioned() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go w.run()
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"hybridolap/internal/fault"
 	"hybridolap/internal/query"
 	"hybridolap/internal/sched"
 	"hybridolap/internal/table"
@@ -95,8 +96,27 @@ func (s *System) RunGrouped(q *query.Query) ([]table.GroupRow, string, error) {
 	snap := s.pin() // bind-time epoch: stable across translation + scan
 	for attempt := 0; ; attempt++ {
 		if qq.NeedsTranslation() {
-			if _, err := query.Translate(qq, s.dicts()); err != nil {
-				return nil, "", err
+			// Translation rides the chaos layer like every other
+			// dictionary path: an injected miss storm (fault.DictLookup)
+			// fails this attempt and goes through the retry budget with
+			// the same absolute deadline — not through partition health,
+			// which the dictionary cannot implicate.
+			err := s.cfg.Faults.Check(fault.DictLookup, -1)
+			if err == nil {
+				_, err = query.Translate(qq, s.dicts())
+			}
+			if err != nil {
+				if attempt+1 >= 1+s.retries() {
+					return nil, "", err
+				}
+				est.NeedsTranslation = qq.NeedsTranslation()
+				s.schedMu.Lock()
+				d, err = s.scheduler.Resubmit(0, d.Deadline, est)
+				s.schedMu.Unlock()
+				if err != nil {
+					return nil, "", err
+				}
+				continue
 			}
 		}
 		if d.Queue.Kind == sched.QueueCPU {

@@ -110,6 +110,10 @@ func (s *System) AnswerOnGPUAt(q *query.Query, partition int, snap *table.Snapsh
 
 // ReferenceAt answers a query by a sequential scan of the given epoch
 // snapshot (nil means the static table) — the ground truth.
+//
+// olaplint:faultexempt: reference executor — the oracle every
+// fault-injected path is checked against; injecting a dictionary fault
+// here would fail the ground truth itself, not the system under test.
 func (s *System) ReferenceAt(q *query.Query, snap *table.Snapshot) (table.ScanResult, error) {
 	qq := q.Clone()
 	if qq.NeedsTranslation() {
@@ -152,6 +156,10 @@ func (s *System) AnswerGroupsOnGPUAt(q *query.Query, partition int, snap *table.
 
 // ReferenceGroupsAt answers a grouped query by a sequential scan of the
 // given epoch snapshot.
+//
+// olaplint:faultexempt: reference executor — the oracle every
+// fault-injected path is checked against; injecting a dictionary fault
+// here would fail the ground truth itself, not the system under test.
 func (s *System) ReferenceGroupsAt(q *query.Query, snap *table.Snapshot) ([]table.GroupRow, error) {
 	qq := q.Clone()
 	if qq.NeedsTranslation() {

@@ -44,6 +44,12 @@ type Compactor struct {
 
 // StartCompactor launches the background compactor. It returns nil if one
 // is already running.
+//
+// olaplint:lockorder: the spawned run loop acquires s.mu (via
+// CompactOnce) and so blocks until this constructor returns and its
+// deferred unlock fires — a bounded startup stall, not a deadlock,
+// because the spawner never waits on the goroutine while holding the
+// lock.
 func (s *Store) StartCompactor(cfg CompactorConfig) *Compactor {
 	cfg.defaults()
 	s.mu.Lock()
@@ -101,6 +107,11 @@ func (c *Compactor) stopAndWait() {
 // the merged stripe splices into the run's position, so any query at any
 // epoch still visits rows in ingest order and results stay bit-identical
 // across compactions.
+//
+// olaplint:epochexempt: maintenance, not a query — the first registry
+// read chooses the delta run to fold; the second, under s.mu, reads the
+// aux carried by whatever epoch ingest published meanwhile, so the
+// publish splices into the latest head rather than a stale one.
 func (s *Store) CompactOnce(maxRun int) (int, error) {
 	if maxRun < 2 {
 		maxRun = 2

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -293,7 +294,7 @@ func TestCPUOnlyPolicy(t *testing.T) {
 		t.Fatalf("second = %+v", d)
 	}
 	// GPU-only query rejected.
-	if _, err := s.Submit(0, Estimates{CPUOK: false}); err != ErrUnanswerable {
+	if _, err := s.Submit(0, Estimates{CPUOK: false}); !errors.Is(err, ErrUnanswerable) {
 		t.Fatalf("err = %v, want ErrUnanswerable", err)
 	}
 	if s.Stats().RejectedQueries != 1 {

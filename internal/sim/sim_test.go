@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -99,7 +100,7 @@ func TestLoopSchedulePastRejected(t *testing.T) {
 	var l Loop
 	l.After(time.Second, func(Time) {})
 	l.Run()
-	if err := l.Schedule(500*time.Millisecond, func(Time) {}); err != ErrPast {
+	if err := l.Schedule(500*time.Millisecond, func(Time) {}); !errors.Is(err, ErrPast) {
 		t.Fatalf("Schedule in the past: err = %v, want ErrPast", err)
 	}
 }
