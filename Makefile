@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-check test test-chaos race bench bench-smoke repro repro-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-check bce-check bce-baseline test test-chaos race bench bench-smoke repro repro-quick examples clean
 
-# Pre-merge checklist: `make all` runs build → vet → lint → test; run
-# `make race` as well before merging scheduler or simulator changes — the
-# CI workflow (.github/workflows/ci.yml) gates on the same five steps.
-all: build vet lint test
+# Pre-merge checklist: `make all` runs build → vet → lint → bce-check →
+# test; run `make race` as well before merging scheduler or simulator
+# changes — the CI workflow (.github/workflows/ci.yml) gates on the same
+# steps.
+all: build vet lint bce-check test
 
 build:
 	$(GO) build ./...
@@ -15,11 +16,13 @@ vet:
 
 # Custom static-analysis suite (cmd/olaplint): simclock, seededrand,
 # lockdiscipline, floateq, errdrop, unitsafety, clockowner, ctxleak,
-# plus the interprocedural wave — lockorder, epochpin, faultpoint,
-# errcmp — which shares one call graph and a post-pass Finish phase.
-# Findings are fixed, never suppressed; see "Static analysis &
-# determinism" in README.md and the analyzer-authoring guide in DESIGN.md.
-# Add -timing to see the shared package load and per-analyzer cost.
+# the interprocedural wave — lockorder, epochpin, faultpoint, errcmp —
+# which shares one call graph and a post-pass Finish phase, and the
+# dataflow wave — noalloc, poolescape — built on the CFG/reaching-defs
+# engine in internal/analysis/dataflow. Findings are fixed, never
+# suppressed; see "Static analysis & determinism" in README.md and the
+# analyzer-authoring guide in DESIGN.md. Add -timing to see the shared
+# package load, per-analyzer cost and finding counts.
 lint:
 	$(GO) run ./cmd/olaplint ./...
 
@@ -34,6 +37,21 @@ lint-fix:
 # pending edits and exits non-zero if there are any. CI runs this.
 lint-fix-check:
 	$(GO) run ./cmd/olaplint -diff ./...
+
+# Compiler-assisted bounds-check gate: recompile the kernel packages
+# with -d=ssa/check_bce and diff the per-function bounds-check profile
+# against internal/analysis/bcecheck/baseline.txt. A kernel edit that
+# re-introduces a per-row bounds check fails here instead of quietly
+# costing scan throughput. CI runs this in the lint job.
+bce-check:
+	$(GO) run ./cmd/olaplint -bce
+
+# Regenerate the committed bounds-check baseline after a deliberate
+# kernel change. Review the diff of baseline.txt like code: every added
+# line is a new bounds check in a hot loop and needs a justification in
+# the PR.
+bce-baseline:
+	$(GO) run ./cmd/olaplint -bce-update
 
 test:
 	$(GO) test ./...

@@ -13,13 +13,19 @@
 // Flags:
 //
 //	-list        print the registered analyzers and their docs, then exit
-//	-run names   comma-separated analyzer names to run (default: all)
+//	-only names  comma-separated analyzer names to run (default: all);
+//	             -run is the older spelling of the same flag
+//	-skip names  comma-separated analyzer names to exclude from the run
 //	-fix         apply each diagnostic's first suggested fix in place
 //	-diff        print the suggested fixes as a unified diff, apply nothing
 //	-json        emit diagnostics as NDJSON (one object per line) for
 //	             machine consumers such as the CI problem matcher
-//	-timing      print the load time and per-analyzer wall time to
-//	             stderr after the run
+//	-timing      print the load time, per-analyzer wall time and finding
+//	             count, and a total line to stderr after the run
+//	-bce         compile the kernel packages with -d=ssa/check_bce and
+//	             diff the bounds-check sites against the committed
+//	             baseline (internal/analysis/bcecheck/baseline.txt)
+//	-bce-update  regenerate that baseline from the current compile
 //
 // The exit status counts every finding, fix-eligible or not: a -json
 // run whose findings all carry suggested fixes still exits 1, so CI
@@ -49,6 +55,7 @@ import (
 	"time"
 
 	"hybridolap/internal/analysis"
+	"hybridolap/internal/analysis/bcecheck"
 	"hybridolap/internal/analysis/clockowner"
 	"hybridolap/internal/analysis/ctxleak"
 	"hybridolap/internal/analysis/epochpin"
@@ -58,6 +65,8 @@ import (
 	"hybridolap/internal/analysis/floateq"
 	"hybridolap/internal/analysis/lockdiscipline"
 	"hybridolap/internal/analysis/lockorder"
+	"hybridolap/internal/analysis/noalloc"
+	"hybridolap/internal/analysis/poolescape"
 	"hybridolap/internal/analysis/seededrand"
 	"hybridolap/internal/analysis/simclock"
 	"hybridolap/internal/analysis/unitsafety"
@@ -78,18 +87,27 @@ func registry() []*analysis.Analyzer {
 		epochpin.Analyzer,
 		faultpoint.Analyzer,
 		errcmp.Analyzer,
+		noalloc.Analyzer,
+		poolescape.Analyzer,
 	}
 }
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
-	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all; older spelling of -only)")
+	onlyNames := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skipNames := flag.String("skip", "", "comma-separated analyzer names to exclude")
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
 	diff := flag.Bool("diff", false, "print suggested fixes as a unified diff without applying")
 	asJSON := flag.Bool("json", false, "emit diagnostics as NDJSON")
 	timing := flag.Bool("timing", false, "print load and per-analyzer wall times to stderr")
+	bce := flag.Bool("bce", false, "compile the kernel packages with -d=ssa/check_bce and diff the bounds-check sites against the committed baseline")
+	bceUpdate := flag.Bool("bce-update", false, "regenerate the bounds-check baseline from the current compile")
 	flag.Parse()
 
+	if *bce || *bceUpdate {
+		os.Exit(runBCE(*bceUpdate, flag.Args()))
+	}
 	if *list {
 		for _, a := range registry() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
@@ -101,7 +119,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	analyzers, err := selectAnalyzers(*runNames)
+	if *runNames != "" && *onlyNames != "" {
+		fmt.Fprintln(os.Stderr, "olaplint: -run and -only are the same flag; pass one")
+		os.Exit(2)
+	}
+	only := *onlyNames
+	if only == "" {
+		only = *runNames
+	}
+	analyzers, err := selectAnalyzers(only, *skipNames)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "olaplint:", err)
 		os.Exit(2)
@@ -129,27 +155,84 @@ func main() {
 	}
 }
 
-// selectAnalyzers resolves a comma-separated -run list against the
-// registry; an empty list selects everything.
-func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
-	all := registry()
-	if names == "" {
-		return all, nil
+// runBCE drives the compiler-assisted bounds-check gate: -bce diffs the
+// kernel packages' bounds-check sites against the committed baseline
+// (exit 1 on drift), -bce-update rewrites the baseline. Extra arguments
+// override the default kernel package patterns.
+func runBCE(update bool, patterns []string) int {
+	if update {
+		if err := bcecheck.Update(".", patterns, bcecheck.BaselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "olaplint:", err)
+			return 2
+		}
+		fmt.Printf("olaplint: wrote %s\n", bcecheck.BaselinePath)
+		return 0
 	}
+	diff, err := bcecheck.Check(".", patterns, bcecheck.BaselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "olaplint:", err)
+		return 2
+	}
+	if diff != "" {
+		fmt.Print(diff)
+		fmt.Fprintln(os.Stderr, "olaplint: bounds-check sites drifted from the baseline; fix the kernel or rerun with -bce-update and justify the new checks in the PR")
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only (né -run) and -skip lists against
+// the registry. An empty only-list selects everything; skip subtracts
+// from whatever only selected. Unknown names error in either list, and
+// so does a selection that skips itself empty — a lint run that checks
+// nothing should never look like a clean one.
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
+	all := registry()
 	byName := make(map[string]*analysis.Analyzer, len(all))
 	for _, a := range all {
 		byName[a.Name] = a
 	}
-	var out []*analysis.Analyzer
-	for _, name := range strings.Split(names, ",") {
-		name = strings.TrimSpace(name)
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+	resolve := func(names string) ([]*analysis.Analyzer, error) {
+		var out []*analysis.Analyzer
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			out = append(out, a)
 		}
-		out = append(out, a)
+		return out, nil
 	}
-	return out, nil
+
+	selected := all
+	if only != "" {
+		var err error
+		if selected, err = resolve(only); err != nil {
+			return nil, err
+		}
+	}
+	if skip != "" {
+		skipped, err := resolve(skip)
+		if err != nil {
+			return nil, err
+		}
+		drop := make(map[*analysis.Analyzer]bool, len(skipped))
+		for _, a := range skipped {
+			drop[a] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range selected {
+			if !drop[a] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("selection is empty: every analyzer was skipped")
+	}
+	return selected, nil
 }
 
 // lintMode selects what lint does with diagnostics that carry fixes.
@@ -177,7 +260,8 @@ type jsonDiag struct {
 // the count that should drive the exit status: findings in report modes
 // (every finding counts, whether or not it carries a suggested fix), or
 // pending edits in -diff mode (so a dirty tree fails CI's fix check).
-// A non-nil timingW receives the load time and per-analyzer wall times.
+// A non-nil timingW receives the load time, per-analyzer wall times and
+// finding counts, and a total line.
 func lint(w, timingW io.Writer, dir string, patterns []string, analyzers []*analysis.Analyzer, mode lintMode, asJSON bool) (int, error) {
 	start := time.Now()
 	pkgs, err := analysis.Load(dir, patterns...)
@@ -190,10 +274,19 @@ func lint(w, timingW io.Writer, dir string, patterns []string, analyzers []*anal
 	loadTime := time.Since(start)
 	diags, timings := analysis.AnalyzeTimed(pkgs, analyzers)
 	if timingW != nil {
-		fmt.Fprintf(timingW, "olaplint: load %s (%d packages)\n", loadTime.Round(time.Millisecond), len(pkgs))
-		for _, t := range timings {
-			fmt.Fprintf(timingW, "olaplint: %-16s %s\n", t.Name, t.Elapsed.Round(time.Microsecond))
+		counts := make(map[string]int, len(timings))
+		for _, d := range diags {
+			counts[d.Analyzer]++
 		}
+		fmt.Fprintf(timingW, "olaplint: load %s (%d packages)\n", loadTime.Round(time.Millisecond), len(pkgs))
+		var total time.Duration
+		for _, t := range timings {
+			total += t.Elapsed
+			fmt.Fprintf(timingW, "olaplint: %-16s %-12s %d finding(s)\n",
+				t.Name, t.Elapsed.Round(time.Microsecond), counts[t.Name])
+		}
+		fmt.Fprintf(timingW, "olaplint: %-16s %-12s %d finding(s)\n",
+			"total", total.Round(time.Microsecond), len(diags))
 	}
 	fset := pkgs[0].Fset
 	sort.SliceStable(diags, func(i, j int) bool {

@@ -2,19 +2,21 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestRegistryComplete pins the suite: all twelve analyzers must be
+// TestRegistryComplete pins the suite: all fourteen analyzers must be
 // registered, in stable order, with docs for -list output.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"simclock", "seededrand", "lockdiscipline", "floateq", "errdrop",
 		"unitsafety", "clockowner", "ctxleak",
 		"lockorder", "epochpin", "faultpoint", "errcmp",
+		"noalloc", "poolescape",
 	}
 	got := registry()
 	if len(got) != len(want) {
@@ -33,17 +35,49 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
-// TestSelectAnalyzers exercises the -run filter.
+// TestSelectAnalyzers exercises the -only (né -run) filter.
 func TestSelectAnalyzers(t *testing.T) {
-	sel, err := selectAnalyzers("floateq, simclock")
+	sel, err := selectAnalyzers("floateq, simclock", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sel) != 2 || sel[0].Name != "floateq" || sel[1].Name != "simclock" {
 		t.Fatalf("selectAnalyzers picked %v", sel)
 	}
-	if _, err := selectAnalyzers("nosuch"); err == nil {
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
 		t.Fatal("selectAnalyzers accepted unknown name")
+	}
+}
+
+// TestSelectSkip exercises the -skip filter, alone and combined with
+// -only.
+func TestSelectSkip(t *testing.T) {
+	sel, err := selectAnalyzers("", "noalloc, poolescape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(registry())-2 {
+		t.Fatalf("skip removed %d analyzers, want 2", len(registry())-len(sel))
+	}
+	for _, a := range sel {
+		if a.Name == "noalloc" || a.Name == "poolescape" {
+			t.Errorf("skipped analyzer %s still selected", a.Name)
+		}
+	}
+
+	sel, err = selectAnalyzers("floateq,simclock", "simclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0].Name != "floateq" {
+		t.Fatalf("only+skip picked %v", sel)
+	}
+
+	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+		t.Fatal("skip accepted unknown name")
+	}
+	if _, err := selectAnalyzers("floateq", "floateq"); err == nil {
+		t.Fatal("an empty selection must error, not silently lint nothing")
 	}
 }
 
@@ -94,6 +128,22 @@ func Mix(s *Stats) {
 	s.WaitMS = s.TotalSeconds
 }
 `)
+	writeFile(t, dir, "internal/kern/kern.go", `package kern
+
+import "sync"
+
+var pool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+//olaplint:noalloc
+func Grow(dst []int64, n int) []int64 {
+	return append(dst, make([]int64, n)...)
+}
+
+func Leak() int {
+	buf := pool.Get().(*[]byte)
+	return len(*buf)
+}
+`)
 	return dir
 }
 
@@ -112,7 +162,7 @@ func TestKnownBadFixture(t *testing.T) {
 	}
 	for _, name := range []string{
 		"simclock", "seededrand", "lockdiscipline", "floateq",
-		"unitsafety", "clockowner",
+		"unitsafety", "clockowner", "noalloc", "poolescape",
 	} {
 		if !strings.Contains(out.String(), "("+name+")") {
 			t.Errorf("expected a %s finding, output:\n%s", name, out.String())
@@ -197,12 +247,14 @@ func Mix(s *Stats) {
 }
 
 // TestTimingOutput checks the -timing channel: a non-nil writer gets
-// the load line and one line per analyzer, and none of it leaks into
-// the diagnostics stream.
+// the load line, one line per analyzer carrying its finding count, and
+// a total line summing them — and none of it leaks into the
+// diagnostics stream.
 func TestTimingOutput(t *testing.T) {
 	dir := badModule(t)
 	var out, timing strings.Builder
-	if _, err := lint(&out, &timing, dir, []string{"./..."}, registry(), modeReport, false); err != nil {
+	n, err := lint(&out, &timing, dir, []string{"./..."}, registry(), modeReport, false)
+	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
 	if !strings.Contains(timing.String(), "olaplint: load ") {
@@ -212,6 +264,19 @@ func TestTimingOutput(t *testing.T) {
 		if !strings.Contains(timing.String(), a.Name) {
 			t.Errorf("timing output missing analyzer %s:\n%s", a.Name, timing.String())
 		}
+	}
+	var totalLine string
+	for _, line := range strings.Split(timing.String(), "\n") {
+		if strings.HasPrefix(line, "olaplint: total") {
+			totalLine = line
+		} else if strings.Contains(line, "simclock") && !strings.Contains(line, "finding(s)") {
+			t.Errorf("per-analyzer timing line missing finding count: %q", line)
+		}
+	}
+	if totalLine == "" {
+		t.Errorf("timing output missing total line:\n%s", timing.String())
+	} else if !strings.Contains(totalLine, fmt.Sprintf("%d finding(s)", n)) {
+		t.Errorf("total line does not carry the finding count %d: %q", n, totalLine)
 	}
 	if strings.Contains(out.String(), "olaplint: load ") {
 		t.Errorf("timing lines leaked into the diagnostics stream:\n%s", out.String())

@@ -1,0 +1,477 @@
+// Package dataflow is the suite's intra-procedural analysis layer: a
+// control-flow graph over one function body, classic forward dataflow
+// problems solved on it (reaching definitions), and a conservative
+// escape/alias lattice. It sits below the analyzers the way the
+// callgraph package does for the interprocedural wave — analyzers
+// (noalloc, poolescape) phrase their invariants as dataflow facts over
+// the CFG instead of re-walking the AST with ad-hoc linear state.
+//
+// Soundness model, in the same spirit as the callgraph layer's
+// (DESIGN.md "Dataflow analysis" spells out the consequences):
+//
+//   - The CFG is built per statement, not per basic-block-of-
+//     instructions: a Block holds the statements that execute together
+//     without an intervening branch. Expressions with short-circuit
+//     control flow (&&, ||) stay inside their statement's block — the
+//     suite's checks key off statement-level events, so the coarser
+//     granularity loses nothing.
+//   - Every return edge and every explicit `panic(...)` statement flows
+//     to the one synthetic Exit block. Implicit runtime panics (index
+//     out of range, nil dereference) produce no edge; a check that must
+//     survive them uses the Defers list, which is exactly what the
+//     runtime guarantees runs on any unwind.
+//   - `goto` to a label the builder has not seen resolves conservatively
+//     to Exit. The repository's style has no backward gotos.
+//   - Unreachable statements after a return/panic land in a block with
+//     no predecessors; solvers see them with the lattice bottom.
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Block is one node of the CFG: a maximal run of statements with no
+// internal control transfer.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// stable for a given body, so golden dumps are deterministic).
+	Index int
+	// Kind names why the block exists ("entry", "if.then", "for.head",
+	// "range.body", "case", "exit", ...), for dumps and diagnostics.
+	Kind string
+	// Stmts are the statements assigned to this block, in source order.
+	// The synthetic entry and exit blocks have none.
+	Stmts []ast.Stmt
+	// Succs are the control-flow successors, in creation order.
+	Succs []*Block
+	// Preds are the control-flow predecessors.
+	Preds []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	// Entry is the synthetic entry block; its single successor chain
+	// covers the body.
+	Entry *Block
+	// Exit is the synthetic exit block: every return, every fall-off-
+	// the-end path and every explicit panic statement converges here.
+	Exit *Block
+	// Blocks lists every block in creation order, Entry first.
+	Blocks []*Block
+	// Defers are the defer statements of the body in source order. They
+	// run on every path to Exit — including explicit panics — which is
+	// why path-sensitive checks treat a deferred cleanup as covering
+	// all exits.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of body. A nil body yields a two-block graph
+// (entry -> exit), which lets callers handle declared-but-bodyless
+// functions uniformly.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &cfgBuilder{g: g}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cur, g.Exit)
+	// The exit block is appended last so dumps read top-down.
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+// cfgBuilder carries the construction state: the current block and the
+// stack of enclosing loop/switch targets for break and continue.
+type cfgBuilder struct {
+	g   *Graph
+	cur *Block
+	// loops is the stack of enclosing break/continue targets; the label
+	// is "" for unlabeled statements.
+	loops []loopTargets
+}
+
+type loopTargets struct {
+	label      string
+	brk, cont  *Block // cont is nil for switch/select (continue skips them)
+	isLoopLike bool
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds the edge from -> to unless from is nil, already linked to
+// the same target, or an unreachable continuation block (statements
+// after a return/panic get a block for solvers to index, but no
+// outgoing edges — control can never leave code it never enters).
+func (b *cfgBuilder) jump(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	if from.Kind == "unreachable" && len(from.Preds) == 0 {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// terminate parks construction in a fresh unreachable block: statements
+// after a return/panic/branch still get blocks (so solvers can see
+// them) but no predecessor edge.
+func (b *cfgBuilder) terminate(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt adds one statement to the graph. label is the enclosing label
+// name when the statement was wrapped in a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		b.jump(b.cur, b.g.Exit)
+		b.terminate("unreachable")
+
+	case *ast.BranchStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		b.branch(s)
+		b.terminate("unreachable")
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.cur.Stmts = append(b.cur.Stmts, s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s, clausesOf(s.Body), label)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s, clausesOf(s.Body), label)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	default:
+		// Straight-line statement (assign, expr, send, decl, go, ...).
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		if isPanic(s) {
+			// An explicit panic unwinds through the defers to Exit.
+			b.jump(b.cur, b.g.Exit)
+			b.terminate("unreachable")
+		}
+	}
+}
+
+// branch wires a break/continue/goto/fallthrough edge.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			t := b.loops[i]
+			if label == "" || t.label == label {
+				b.jump(b.cur, t.brk)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			t := b.loops[i]
+			if t.cont != nil && (label == "" || t.label == label) {
+				b.jump(b.cur, t.cont)
+				return
+			}
+		}
+	}
+	// goto (labels are not tracked across the builder) and fallthrough
+	// outside the switch lowering resolve conservatively to Exit.
+	b.jump(b.cur, b.g.Exit)
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, s.Init)
+	}
+	// The condition evaluates in the current block; record the IfStmt
+	// itself so solvers see its condition expression.
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	cond := b.cur
+	join := b.newBlock("if.join")
+
+	then := b.newBlock("if.then")
+	b.jump(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jump(b.cur, join)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.jump(cond, els)
+		b.cur = els
+		b.stmt(s.Else, "")
+		b.jump(b.cur, join)
+	} else {
+		b.jump(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	exit := b.newBlock("for.exit")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Stmts = append(post.Stmts, s.Post)
+		b.jump(post, head)
+	}
+	b.jump(b.cur, head)
+	// The condition (when present) lives in the head block via the
+	// ForStmt node itself.
+	head.Stmts = append(head.Stmts, s)
+	b.jump(head, body)
+	if s.Cond != nil {
+		b.jump(head, exit)
+	}
+	b.loops = append(b.loops, loopTargets{label: label, brk: exit, cont: post, isLoopLike: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(b.cur, post)
+	b.loops = b.loops[:len(b.loops)-1]
+	// For `for {}` with no break the exit block stays predecessor-less;
+	// it is kept anyway so the graph shape is uniform.
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	exit := b.newBlock("range.exit")
+	b.jump(b.cur, head)
+	// The RangeStmt node carries the key/value defs and the ranged
+	// expression; both belong to the head, which runs once per
+	// iteration and once more to decide exit.
+	head.Stmts = append(head.Stmts, s)
+	b.jump(head, body)
+	b.jump(head, exit)
+	b.loops = append(b.loops, loopTargets{label: label, brk: exit, cont: head, isLoopLike: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(b.cur, head)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+// clausesOf lists the case clauses of a switch body.
+func clausesOf(body *ast.BlockStmt) []ast.Stmt {
+	if body == nil {
+		return nil
+	}
+	return body.List
+}
+
+// switchStmt lowers value switches and type switches identically: the
+// tag evaluates in the current block, each clause gets its own block
+// flowing to the join, fallthrough chains clause to clause, and a
+// missing default adds a direct tag -> join edge.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, s ast.Stmt, clauses []ast.Stmt, label string) {
+	if init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, init)
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	tag := b.cur
+	join := b.newBlock("switch.join")
+	b.loops = append(b.loops, loopTargets{label: label, brk: join})
+
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.jump(tag, blocks[i])
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok || blocks[i] == nil {
+			continue
+		}
+		b.cur = blocks[i]
+		fallsThrough := false
+		for _, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(cs, "")
+		}
+		if fallsThrough && i+1 < len(blocks) && blocks[i+1] != nil {
+			b.jump(b.cur, blocks[i+1])
+		} else {
+			b.jump(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.jump(tag, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	tag := b.cur
+	join := b.newBlock("select.join")
+	b.loops = append(b.loops, loopTargets{label: label, brk: join})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "comm"
+		if cc.Comm == nil {
+			kind = "default"
+		}
+		blk := b.newBlock(kind)
+		b.jump(tag, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.cur.Stmts = append(b.cur.Stmts, cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(b.cur, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = join
+}
+
+// isPanic reports whether s is an expression statement calling the
+// panic builtin. The check is syntactic (an identifier spelled "panic"
+// in call position): the builder has no type information, and shadowing
+// panic with a function is vanishingly rare outside adversarial code.
+func isPanic(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the graph in a stable textual form for golden tests and
+// debugging: one section per block with its kind, a one-line rendering
+// of each statement, and the successor list.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s\n", blk.Index, blk.Kind)
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&sb, "\t%s\n", stmtLine(fset, s))
+		}
+		if len(blk.Succs) > 0 {
+			succs := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				succs[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(succs, " "))
+		}
+	}
+	return sb.String()
+}
+
+// stmtLine renders a statement as a single line, truncating nested
+// bodies: control statements print only their header so a dump line
+// stays readable.
+func stmtLine(fset *token.FileSet, s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return "if " + exprString(fset, s.Cond)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return "for " + exprString(fset, s.Cond)
+		}
+		return "for"
+	case *ast.RangeStmt:
+		return "range " + exprString(fset, s.X)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return "switch " + exprString(fset, s.Tag)
+		}
+		return "switch"
+	case *ast.TypeSwitchStmt:
+		return "typeswitch"
+	case *ast.SelectStmt:
+		return "select"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, s); err != nil {
+		return fmt.Sprintf("<%T>", s)
+	}
+	line := strings.Join(strings.Fields(buf.String()), " ")
+	const max = 60
+	if len(line) > max {
+		line = line[:max] + "..."
+	}
+	return line
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

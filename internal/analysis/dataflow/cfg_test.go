@@ -1,0 +1,325 @@
+package dataflow
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden CFG dumps under testdata/. Run it
+// deliberately after a builder change and review the diff: the goldens
+// are the specification of the graph shapes.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// parseFunc parses src (a complete file) and returns the first function
+// declaration plus the fileset.
+func parseFunc(t *testing.T, src string) (*ast.FuncDecl, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd, fset
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil
+}
+
+// checkFunc additionally type-checks and returns the info (for solvers
+// that need object resolution).
+func checkFunc(t *testing.T, src string) (*ast.FuncDecl, *token.FileSet, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "df.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+		Scopes:    make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd, fset, info
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil, nil
+}
+
+// cfgShapes are the golden fixtures: one per control shape the builder
+// must get right.
+var cfgShapes = []struct {
+	name string
+	src  string
+}{
+	{
+		name: "branch",
+		src: `package p
+
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else if x < 0 {
+		y = -1
+	}
+	return y
+}
+`,
+	},
+	{
+		name: "loop",
+		src: `package p
+
+func f(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			continue
+		}
+		if xs[i] > 100 {
+			break
+		}
+		total += xs[i]
+	}
+	return total
+}
+`,
+	},
+	{
+		name: "labeled_range",
+		src: `package p
+
+func f(rows [][]int) int {
+	n := 0
+rowLoop:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				continue rowLoop
+			}
+			n += v
+		}
+	}
+	return n
+}
+`,
+	},
+	{
+		name: "defer",
+		src: `package p
+
+func f(get func() *int, put func(*int), fail bool) error {
+	v := get()
+	defer put(v)
+	if fail {
+		return errFail
+	}
+	*v = 1
+	return nil
+}
+
+var errFail error
+`,
+	},
+	{
+		name: "panic",
+		src: `package p
+
+func f(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x * 2
+}
+`,
+	},
+	{
+		name: "switch",
+		src: `package p
+
+func f(op int) int {
+	switch op {
+	case 1:
+		return 10
+	case 2:
+		fallthrough
+	case 3:
+		return 30
+	default:
+		return 0
+	}
+}
+`,
+	},
+}
+
+// TestCFGGolden pins the graph shape of every fixture against its
+// golden dump.
+func TestCFGGolden(t *testing.T) {
+	for _, tc := range cfgShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			fd, fset := parseFunc(t, tc.src)
+			g := New(fd.Body)
+			got := g.Dump(fset)
+			golden := filepath.Join("testdata", "cfg_"+tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dump mismatch for %s:\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestCFGInvariants checks structural properties that must hold for any
+// input: edge symmetry, every return reaching Exit, defers collected in
+// source order.
+func TestCFGInvariants(t *testing.T) {
+	for _, tc := range cfgShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			fd, _ := parseFunc(t, tc.src)
+			g := New(fd.Body)
+			for _, blk := range g.Blocks {
+				for _, s := range blk.Succs {
+					if !containsBlock(s.Preds, blk) {
+						t.Errorf("b%d -> b%d edge not mirrored in preds", blk.Index, s.Index)
+					}
+				}
+				for _, p := range blk.Preds {
+					if !containsBlock(p.Succs, blk) {
+						t.Errorf("b%d pred b%d edge not mirrored in succs", blk.Index, p.Index)
+					}
+				}
+				for _, s := range blk.Stmts {
+					if _, ok := s.(*ast.ReturnStmt); ok && !containsBlock(blk.Succs, g.Exit) {
+						t.Errorf("b%d holds a return but has no edge to exit", blk.Index)
+					}
+				}
+			}
+			if len(g.Exit.Succs) != 0 {
+				t.Errorf("exit block has successors")
+			}
+		})
+	}
+}
+
+// TestCFGDefers checks the Defers list: both the plain and the inside-
+// a-branch defer must be collected, in source order.
+func TestCFGDefers(t *testing.T) {
+	fd, _ := parseFunc(t, `package p
+
+func f(c bool, a, b func()) {
+	defer a()
+	if c {
+		defer b()
+	}
+}
+`)
+	g := New(fd.Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Errorf("defers out of source order")
+	}
+}
+
+// TestCFGNilBody covers bodyless declarations.
+func TestCFGNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("nil body: got %d blocks, want entry+exit", len(g.Blocks))
+	}
+	if !containsBlock(g.Entry.Succs, g.Exit) {
+		t.Errorf("nil body: entry does not reach exit")
+	}
+}
+
+func containsBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGPanicEdge pins the panic semantics: the block holding an
+// explicit panic statement must flow to Exit, and the statements after
+// it must be unreachable.
+func TestCFGPanicEdge(t *testing.T) {
+	fd, _ := parseFunc(t, `package p
+
+func f() int {
+	panic("boom")
+}
+`)
+	g := New(fd.Body)
+	var panicBlk *Block
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Stmts {
+			if isPanic(s) {
+				panicBlk = blk
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("panic statement not found in any block")
+	}
+	if !containsBlock(panicBlk.Succs, g.Exit) {
+		t.Errorf("panic block does not flow to exit")
+	}
+}
+
+func ExampleGraph_Dump() {
+	fset := token.NewFileSet()
+	f, _ := parser.ParseFile(fset, "x.go", `package p
+func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 0
+}
+`, 0)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	fmt.Print(New(fd.Body).Dump(fset))
+	// Output:
+	// b0 entry
+	// 	if a
+	// 	-> b2 b1
+	// b1 if.join
+	// 	return 0
+	// 	-> b5
+	// b2 if.then
+	// 	return 1
+	// 	-> b5
+	// b3 unreachable
+	// b4 unreachable
+	// b5 exit
+}

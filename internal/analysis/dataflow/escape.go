@@ -1,0 +1,327 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements a conservative escape/alias lattice over one
+// function body. For a local variable it answers: does the value ever
+// leave the function's control — stored into a struct field, a
+// package-level variable, a container element, sent on a channel,
+// captured by a function literal, or returned? The lattice is
+//
+//	Local  ⊏  Escaped(kind)
+//
+// with a may-alias closure: `w := v` makes w an alias of v, and any
+// escape of w counts against v. The analysis is flow-insensitive (an
+// escape anywhere in the body taints the variable everywhere), which
+// over-approximates — exactly the right direction for checks like
+// poolescape, where a value that MAY outlive the function must not be
+// returned to a sync.Pool.
+//
+// Deliberate under-approximation, documented in DESIGN.md: passing v as
+// a plain call argument is NOT an escape. Go's own escape analysis
+// would consult the callee; this layer has no interprocedural reach, so
+// it assumes callees do not retain their arguments. The suite's checks
+// compensate by what they guard (pooled scratch is passed to helpers
+// constantly; storing it is the bug).
+
+// EscapeKind classifies one escape site.
+type EscapeKind int
+
+const (
+	// EscapeField: stored into a field of some other value (x.f = v).
+	EscapeField EscapeKind = iota
+	// EscapeGlobal: assigned to a package-level variable.
+	EscapeGlobal
+	// EscapeElem: stored into a map, slice or array element (m[k] = v).
+	EscapeElem
+	// EscapeChan: sent on a channel (ch <- v).
+	EscapeChan
+	// EscapeClosure: referenced by a function literal, which may outlive
+	// the current activation (go'd, stored, returned).
+	EscapeClosure
+	// EscapeReturn: returned to the caller.
+	EscapeReturn
+)
+
+// String names the kind for diagnostics.
+func (k EscapeKind) String() string {
+	switch k {
+	case EscapeField:
+		return "struct field"
+	case EscapeGlobal:
+		return "package-level variable"
+	case EscapeElem:
+		return "container element"
+	case EscapeChan:
+		return "channel"
+	case EscapeClosure:
+		return "captured closure"
+	case EscapeReturn:
+		return "return value"
+	}
+	return "unknown"
+}
+
+// EscapeSite is one place a variable's value leaves the function.
+type EscapeSite struct {
+	Kind EscapeKind
+	// Pos is the escaping occurrence.
+	Pos token.Pos
+	// Via is the alias through which the escape happened (== the
+	// queried variable when direct).
+	Via *types.Var
+	// FuncLit, for EscapeClosure sites, is the capturing literal; nil
+	// otherwise. Callers can exempt specific literals (poolescape
+	// exempts a deferred cleanup closure that only calls Put).
+	FuncLit *ast.FuncLit
+}
+
+// EscapeInfo is the solved lattice for one body.
+type EscapeInfo struct {
+	sites   map[*types.Var][]EscapeSite
+	aliases map[*types.Var][]*types.Var // directed: alias -> sources it copies
+}
+
+// Escape analyzes body (typically fd.Body) and returns the lattice.
+func Escape(body ast.Node, info *types.Info) *EscapeInfo {
+	e := &EscapeInfo{
+		sites:   make(map[*types.Var][]EscapeSite),
+		aliases: make(map[*types.Var][]*types.Var),
+	}
+	if body == nil {
+		return e
+	}
+	e.collect(body, info)
+	return e
+}
+
+// Sites returns every escape site of v, including those reached through
+// aliases, deduplicated by position.
+func (e *EscapeInfo) Sites(v *types.Var) []EscapeSite {
+	var out []EscapeSite
+	seen := map[token.Pos]bool{}
+	// Taint closure: v escapes through any variable that (transitively)
+	// copied v's value.
+	tainted := map[*types.Var]bool{v: true}
+	for changed := true; changed; {
+		changed = false
+		for alias, srcs := range e.aliases {
+			if tainted[alias] {
+				continue
+			}
+			for _, s := range srcs {
+				if tainted[s] {
+					tainted[alias] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for w := range tainted {
+		for _, s := range e.sites[w] {
+			if !seen[s.Pos] {
+				seen[s.Pos] = true
+				s.Via = w
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Escapes reports whether v (or an alias) escapes at all.
+func (e *EscapeInfo) Escapes(v *types.Var) bool { return len(e.Sites(v)) > 0 }
+
+// localVar resolves an expression to the local variable it denotes, or
+// nil. Only bare identifiers count: x.f or s[i] denote locations, not
+// the variable itself.
+func localVar(expr ast.Expr, info *types.Info) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	if d, ok := info.Defs[id]; ok && d != nil {
+		obj = d
+	} else if u, ok := info.Uses[id]; ok {
+		obj = u
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil // package-level
+	}
+	return v
+}
+
+// isGlobal reports whether expr is a bare identifier naming a
+// package-level variable.
+func isGlobal(expr ast.Expr, info *types.Info) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+func (e *EscapeInfo) addSite(v *types.Var, s EscapeSite) {
+	if v == nil {
+		return
+	}
+	e.sites[v] = append(e.sites[v], s)
+}
+
+func (e *EscapeInfo) collect(root ast.Node, info *types.Info) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0] // multi-value: tracked conservatively below
+				}
+				e.assign(lhs, rhs, info)
+			}
+		case *ast.SendStmt:
+			if v := localVar(n.Value, info); v != nil {
+				e.addSite(v, EscapeSite{Kind: EscapeChan, Pos: n.Arrow})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if v := localVar(res, info); v != nil {
+					e.addSite(v, EscapeSite{Kind: EscapeReturn, Pos: res.Pos()})
+				}
+			}
+		case *ast.FuncLit:
+			e.captures(n, info)
+			return false // captures handles the body; don't double-visit
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								e.assign(name, vs.Values[i], info)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign classifies one lhs = rhs pair: alias edges for var-to-var
+// copies, escape sites for stores into fields, globals and elements.
+func (e *EscapeInfo) assign(lhs, rhs ast.Expr, info *types.Info) {
+	src := localVar(rhs, info)
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if isGlobal(lhs, info) {
+			if src != nil {
+				e.addSite(src, EscapeSite{Kind: EscapeGlobal, Pos: l.Pos()})
+			}
+			return
+		}
+		if dst := localVar(lhs, info); dst != nil && src != nil && dst != src {
+			e.aliases[dst] = append(e.aliases[dst], src)
+		}
+	case *ast.SelectorExpr:
+		// x.f = v stores into a field (a qualified package ident would
+		// not type-check as assignable unless it names a global var).
+		if src == nil {
+			return
+		}
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				e.addSite(src, EscapeSite{Kind: EscapeGlobal, Pos: l.Pos()})
+				return
+			}
+		}
+		e.addSite(src, EscapeSite{Kind: EscapeField, Pos: l.Pos()})
+	case *ast.IndexExpr:
+		if src != nil {
+			e.addSite(src, EscapeSite{Kind: EscapeElem, Pos: l.Pos()})
+		}
+	case *ast.StarExpr:
+		// *p = v: stores through a pointer whose provenance is unknown.
+		if src != nil {
+			e.addSite(src, EscapeSite{Kind: EscapeField, Pos: l.Pos()})
+		}
+	}
+}
+
+// captures records an EscapeClosure site for every outer local variable
+// a function literal references, then recurses for stores inside the
+// literal (a closure body can itself leak values).
+func (e *EscapeInfo) captures(lit *ast.FuncLit, info *types.Info) {
+	// Variables declared inside the literal (params and locals) are not
+	// captures. Collect their objects first.
+	inner := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if d, ok := info.Defs[id]; ok && d != nil {
+				inner[d] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || inner[obj] {
+			return true
+		}
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true // global, not a capture
+		}
+		e.addSite(obj, EscapeSite{Kind: EscapeClosure, Pos: id.Pos(), FuncLit: lit})
+		return true
+	})
+	// Stores performed inside the literal still escape the stored value.
+	e.collectInner(lit.Body, info)
+}
+
+// collectInner walks a closure body for assignment/send/return escapes
+// without re-entering capture analysis for nested literals (Inspect in
+// collect already handles nesting when called from the top).
+func (e *EscapeInfo) collectInner(body ast.Node, info *types.Info) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				e.assign(lhs, rhs, info)
+			}
+		case *ast.SendStmt:
+			if v := localVar(n.Value, info); v != nil {
+				e.addSite(v, EscapeSite{Kind: EscapeChan, Pos: n.Arrow})
+			}
+		case *ast.FuncLit:
+			e.captures(n, info)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,188 @@
+package dataflow
+
+import (
+	"testing"
+)
+
+// TestEscapeKinds drives one variable through every escape kind the
+// lattice distinguishes and checks classification.
+func TestEscapeKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		vr   string
+		want EscapeKind
+	}{
+		{
+			name: "field store",
+			src: `package p
+type box struct{ p *int }
+func f(b *box) {
+	v := new(int)
+	b.p = v
+}
+`,
+			vr: "v", want: EscapeField,
+		},
+		{
+			name: "global store",
+			src: `package p
+var sink *int
+func f() {
+	v := new(int)
+	sink = v
+}
+`,
+			vr: "v", want: EscapeGlobal,
+		},
+		{
+			name: "element store",
+			src: `package p
+func f(m map[int]*int) {
+	v := new(int)
+	m[0] = v
+}
+`,
+			vr: "v", want: EscapeElem,
+		},
+		{
+			name: "channel send",
+			src: `package p
+func f(ch chan *int) {
+	v := new(int)
+	ch <- v
+}
+`,
+			vr: "v", want: EscapeChan,
+		},
+		{
+			name: "closure capture",
+			src: `package p
+func f(spawn func(func())) {
+	v := new(int)
+	spawn(func() { *v = 1 })
+}
+`,
+			vr: "v", want: EscapeClosure,
+		},
+		{
+			name: "return",
+			src: `package p
+func f() *int {
+	v := new(int)
+	return v
+}
+`,
+			vr: "v", want: EscapeReturn,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fd, _, info := checkFunc(t, tc.src)
+			e := Escape(fd.Body, info)
+			v := lookupVar(t, info, tc.vr)
+			sites := e.Sites(v)
+			if len(sites) == 0 {
+				t.Fatalf("%s: variable does not escape", tc.name)
+			}
+			found := false
+			for _, s := range sites {
+				if s.Kind == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: no site of kind %v in %v", tc.name, tc.want, sites)
+			}
+		})
+	}
+}
+
+// TestEscapeAlias checks the may-alias closure: an escape through a
+// copy counts against the original.
+func TestEscapeAlias(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+var sink *int
+func f() {
+	v := new(int)
+	w := v
+	sink = w
+}
+`)
+	e := Escape(fd.Body, info)
+	v := lookupVar(t, info, "v")
+	sites := e.Sites(v)
+	if len(sites) == 0 {
+		t.Fatal("escape through alias w not attributed to v")
+	}
+	if sites[0].Kind != EscapeGlobal {
+		t.Errorf("got kind %v, want EscapeGlobal", sites[0].Kind)
+	}
+	w := lookupVar(t, info, "w")
+	if sites[0].Via != w {
+		t.Errorf("escape not attributed via alias w")
+	}
+}
+
+// TestEscapeNone checks the happy path: passing a value as a call
+// argument or reading its fields is not an escape.
+func TestEscapeNone(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+type scratch struct{ sel []int32 }
+func use([]int32) int { return 0 }
+func f() int {
+	v := &scratch{}
+	sel := v.sel
+	return use(sel)
+}
+`)
+	e := Escape(fd.Body, info)
+	v := lookupVar(t, info, "v")
+	if e.Escapes(v) {
+		t.Errorf("call argument / field read misclassified as escape: %v", e.Sites(v))
+	}
+}
+
+// TestEscapeClosureLit checks that the capturing literal is recorded on
+// the site, so callers can exempt specific literals.
+func TestEscapeClosureLit(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+func f(spawn func(func())) {
+	v := new(int)
+	spawn(func() { *v = 2 })
+}
+`)
+	e := Escape(fd.Body, info)
+	v := lookupVar(t, info, "v")
+	sites := e.Sites(v)
+	if len(sites) == 0 {
+		t.Fatal("closure capture not detected")
+	}
+	if sites[0].FuncLit == nil {
+		t.Errorf("closure site does not record the capturing literal")
+	}
+}
+
+// TestEscapeStoreInsideClosure checks that stores performed inside a
+// closure body still count: the closure's own assignment leaks the
+// value it captured.
+func TestEscapeStoreInsideClosure(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+var sink *int
+func f(run func(func())) {
+	v := new(int)
+	run(func() { sink = v })
+}
+`)
+	e := Escape(fd.Body, info)
+	v := lookupVar(t, info, "v")
+	var global bool
+	for _, s := range e.Sites(v) {
+		if s.Kind == EscapeGlobal {
+			global = true
+		}
+	}
+	if !global {
+		t.Errorf("global store inside closure missed: %v", e.Sites(v))
+	}
+}

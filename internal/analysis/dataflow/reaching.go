@@ -1,0 +1,235 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file solves reaching definitions on the CFG: for every block,
+// which definition sites of each variable may still be "live" (not
+// overwritten on every path) when control enters the block. It is the
+// classic forward may-analysis — gen/kill per block, union at joins,
+// iterate to fixpoint — and the substrate for checks that need to ask
+// "which assignment produced the value used here" (poolescape matches
+// a pool.Put argument back to the pool.Get that defined it).
+
+// Def is one definition site of a variable.
+type Def struct {
+	// Var is the defined variable.
+	Var *types.Var
+	// Node is the statement that defines it (AssignStmt, ValueSpec's
+	// DeclStmt, IncDecStmt, RangeStmt for its key/value).
+	Node ast.Node
+	// Pos is the defining identifier's position.
+	Pos token.Pos
+}
+
+// ReachingDefs is the solved problem.
+type ReachingDefs struct {
+	// in maps each block to the set of definitions reaching its entry,
+	// keyed by variable.
+	in map[*Block]map[*types.Var][]Def
+	// defs lists every definition site found in the body, in source
+	// order, for callers that want the universe.
+	defs []Def
+}
+
+// Reaching solves reaching definitions for g. info supplies the
+// identifier-to-object resolution; only *types.Var objects participate
+// (fields and globals are not tracked — they may be redefined by any
+// call, so a may-analysis over them would be all-defs-everywhere).
+func Reaching(g *Graph, info *types.Info) *ReachingDefs {
+	r := &ReachingDefs{in: make(map[*Block]map[*types.Var][]Def)}
+
+	// Collect gen sets per block: the *last* definition of each
+	// variable in the block generates; every definition of a variable
+	// anywhere kills all other definitions of it.
+	gen := make(map[*Block]map[*types.Var]Def)
+	for _, blk := range g.Blocks {
+		gen[blk] = make(map[*types.Var]Def)
+		for _, s := range blk.Stmts {
+			for _, d := range stmtDefs(s, info) {
+				gen[blk][d.Var] = d // later defs in the block overwrite
+				r.defs = append(r.defs, d)
+			}
+		}
+	}
+
+	out := make(map[*Block]map[*types.Var][]Def)
+	for _, blk := range g.Blocks {
+		out[blk] = applyGenKill(nil, gen[blk])
+	}
+
+	// Worklist iteration to fixpoint. Block count is small (function
+	// bodies), so a simple round-robin sweep converges quickly.
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			in := make(map[*types.Var][]Def)
+			for _, p := range blk.Preds {
+				for v, defs := range out[p] {
+					in[v] = mergeDefs(in[v], defs)
+				}
+			}
+			r.in[blk] = in
+			newOut := applyGenKill(in, gen[blk])
+			if !defsEqual(out[blk], newOut) {
+				out[blk] = newOut
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// In returns the definitions of v that may reach the entry of blk.
+func (r *ReachingDefs) In(blk *Block, v *types.Var) []Def {
+	return r.in[blk][v]
+}
+
+// Defs returns every definition site of v in the body, in source order.
+func (r *ReachingDefs) Defs(v *types.Var) []Def {
+	var out []Def
+	for _, d := range r.defs {
+		if d.Var == v {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// At returns the definitions of v that may reach stmt inside blk: the
+// block-entry set advanced through the statements preceding stmt.
+func (r *ReachingDefs) At(blk *Block, stmt ast.Stmt, v *types.Var, info *types.Info) []Def {
+	defs := r.in[blk][v]
+	for _, s := range blk.Stmts {
+		if s == stmt {
+			break
+		}
+		for _, d := range stmtDefs(s, info) {
+			if d.Var == v {
+				defs = []Def{d}
+			}
+		}
+	}
+	return defs
+}
+
+// applyGenKill computes in minus killed plus gen.
+func applyGenKill(in map[*types.Var][]Def, gen map[*types.Var]Def) map[*types.Var][]Def {
+	out := make(map[*types.Var][]Def, len(in)+len(gen))
+	for v, defs := range in {
+		if _, killed := gen[v]; killed {
+			continue
+		}
+		out[v] = defs
+	}
+	for v, d := range gen {
+		out[v] = []Def{d}
+	}
+	return out
+}
+
+// mergeDefs unions two def slices, deduplicating by position.
+func mergeDefs(a, b []Def) []Def {
+	for _, d := range b {
+		dup := false
+		for _, e := range a {
+			if e.Pos == d.Pos && e.Var == d.Var {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			a = append(a, d)
+		}
+	}
+	return a
+}
+
+func defsEqual(a, b map[*types.Var][]Def) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, da := range a {
+		db, ok := b[v]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for _, d := range da {
+			found := false
+			for _, e := range db {
+				if e.Pos == d.Pos {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stmtDefs extracts the variable definitions a single statement makes.
+// Nested statements (an if's body) are not descended into — the CFG
+// assigns them to their own blocks; only the header-level defs of
+// control statements (an if's Init was hoisted into the block by the
+// builder, a range's key/value belong to the head) appear here.
+func stmtDefs(s ast.Stmt, info *types.Info) []Def {
+	var out []Def
+	addIdent := func(e ast.Expr, node ast.Node) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if d, ok := info.Defs[id]; ok && d != nil {
+			obj = d
+		} else if u, ok := info.Uses[id]; ok {
+			obj = u
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		// Package-level variables are not tracked (any call may write
+		// them); only function-local variables and parameters.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return
+		}
+		out = append(out, Def{Var: v, Node: node, Pos: id.Pos()})
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			addIdent(lhs, s)
+		}
+	case *ast.IncDecStmt:
+		addIdent(s.X, s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return out
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				addIdent(name, s)
+			}
+		}
+	case *ast.RangeStmt:
+		addIdent(s.Key, s)
+		addIdent(s.Value, s)
+	case *ast.TypeSwitchStmt:
+		// The implicit per-clause variable of `switch v := x.(type)` is
+		// clause-scoped; clause blocks own their implicit defs, which
+		// the solver sees through info.Implicits only when a check asks.
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// lookupVar finds the *types.Var named name among the info's Defs.
+func lookupVar(t *testing.T, info *types.Info, name string) *types.Var {
+	t.Helper()
+	for id, obj := range info.Defs {
+		if id.Name == name {
+			if v, ok := obj.(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	t.Fatalf("variable %q not found", name)
+	return nil
+}
+
+// blockOfKind returns the first block with the given kind.
+func blockOfKind(t *testing.T, g *Graph, kind string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			return b
+		}
+	}
+	t.Fatalf("no block of kind %q", kind)
+	return nil
+}
+
+// TestReachingJoin checks the may-union at a join point: both the
+// then-branch redefinition and the original definition of y reach the
+// statement after the if.
+func TestReachingJoin(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	}
+	return y
+}
+`)
+	g := New(fd.Body)
+	r := Reaching(g, info)
+	y := lookupVar(t, info, "y")
+	join := blockOfKind(t, g, "if.join")
+	defs := r.In(join, y)
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs of y reaching the join, want 2 (init + then-branch)", len(defs))
+	}
+}
+
+// TestReachingKill checks the kill side: an unconditional redefinition
+// between def and use hides the first definition.
+func TestReachingKill(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+
+func f() int {
+	y := 0
+	y = 1
+	if y > 0 {
+		y = 2
+	}
+	return y
+}
+`)
+	g := New(fd.Body)
+	r := Reaching(g, info)
+	y := lookupVar(t, info, "y")
+	join := blockOfKind(t, g, "if.join")
+	defs := r.In(join, y)
+	// y = 1 and y = 2 reach; y := 0 was killed in the entry block.
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs reaching the join, want 2", len(defs))
+	}
+	all := r.Defs(y)
+	if len(all) != 3 {
+		t.Fatalf("got %d total defs of y, want 3", len(all))
+	}
+	first := all[0]
+	for _, d := range defs {
+		if d.Pos == first.Pos {
+			t.Errorf("killed definition y := 0 still reaches the join")
+		}
+	}
+}
+
+// TestReachingLoop checks the fixpoint over a back edge: the loop-body
+// redefinition reaches the loop head on the second iteration.
+func TestReachingLoop(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+
+func f(n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc = acc + i
+	}
+	return acc
+}
+`)
+	g := New(fd.Body)
+	r := Reaching(g, info)
+	acc := lookupVar(t, info, "acc")
+	head := blockOfKind(t, g, "for.head")
+	defs := r.In(head, acc)
+	// Both acc := 0 (entry edge) and acc = acc + i (back edge) reach.
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs of acc reaching the loop head, want 2", len(defs))
+	}
+}
+
+// TestReachingAt checks the intra-block advance: a redefinition earlier
+// in the same block hides the incoming defs at the query statement.
+func TestReachingAt(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+
+func f() int {
+	y := 0
+	y = 1
+	return y
+}
+`)
+	g := New(fd.Body)
+	r := Reaching(g, info)
+	y := lookupVar(t, info, "y")
+	entry := g.Entry
+	var ret ast.Stmt
+	for _, s := range entry.Stmts {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			ret = s
+		}
+	}
+	if ret == nil {
+		t.Fatal("return statement not in entry block")
+	}
+	defs := r.At(entry, ret, y, info)
+	if len(defs) != 1 {
+		t.Fatalf("got %d defs at the return, want 1", len(defs))
+	}
+	all := r.Defs(y)
+	if defs[0].Pos != all[1].Pos {
+		t.Errorf("definition reaching the return is not the second assignment")
+	}
+}
+
+// TestReachingRangeDef checks that range key/value variables defined in
+// the head reach the body.
+func TestReachingRangeDef(t *testing.T) {
+	fd, _, info := checkFunc(t, `package p
+
+func f(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+`)
+	g := New(fd.Body)
+	r := Reaching(g, info)
+	v := lookupVar(t, info, "v")
+	body := blockOfKind(t, g, "range.body")
+	if len(r.In(body, v)) != 1 {
+		t.Fatalf("range value definition does not reach the body")
+	}
+}

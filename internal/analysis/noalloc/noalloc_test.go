@@ -1,0 +1,17 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/noalloc"
+)
+
+// TestFixture runs the analyzer over a two-package module: kernel holds
+// one marked function per allocating-construct class plus the clean
+// kernels that must export AllocFree facts, and app checks the fact
+// crossing the dependency edge in both directions (proven-free callee
+// accepted, allocating callee reported).
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer)
+}

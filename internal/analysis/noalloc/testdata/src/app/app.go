@@ -1,0 +1,35 @@
+// Package app consumes the kernel package across a dependency edge: the
+// AllocFree facts exported by the kernel pass decide which cross-package
+// calls a marked function here may make.
+package app
+
+import "fix/kernel"
+
+// Total is a marked kernel calling proven-free functions in another
+// package: clean, because kernel.SumSel and (*kernel.Scratch).Reset
+// arrived as AllocFree facts.
+//
+//olaplint:noalloc
+func Total(vals []int64, sc *kernel.Scratch) int64 {
+	v := kernel.SumSel(vals, sc.Sel)
+	sc.Reset()
+	return v
+}
+
+// TotalDirty calls a cross-package function that was not proven
+// allocation-free (kernel.Builtins allocates).
+//
+//olaplint:noalloc
+func TotalDirty(vals []int64) int {
+	ys := kernel.Builtins(vals) // want `//olaplint:noalloc function app\.TotalDirty calls kernel\.Builtins, which is not allocation-free`
+	return len(ys)
+}
+
+// Unmarked allocates freely: no directive, no findings.
+func Unmarked(vals []int64) []int64 {
+	out := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v*2)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"hybridolap/internal/analysis/analysistest"
+	"hybridolap/internal/analysis/poolescape"
+)
+
+// TestFixture runs the analyzer over a single-package module split by
+// bug class — fixme.go (never-Put leaks, with the defer-insertion fix
+// checked against its golden), paths.go (path-sensitive leaks and the
+// clean disciplines), misuse.go (use-after-Put, double Put), escape.go
+// (stores that outlive the Put, including through an alias).
+func TestFixture(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", poolescape.Analyzer)
+}

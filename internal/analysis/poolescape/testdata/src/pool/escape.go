@@ -1,0 +1,52 @@
+package pool
+
+type holder struct{ sc *scratch }
+
+var globalScratch *scratch
+
+// escField parks the pooled buffer in a struct field that outlives the
+// Put.
+func escField(h *holder) {
+	sc := scratchPool.Get().(*scratch)
+	h.sc = sc // want `sync\.Pool value sc escapes into a struct field; pooled buffers must not outlive their Put`
+	scratchPool.Put(sc)
+}
+
+// escGlobal publishes the pooled buffer through a package variable.
+func escGlobal() {
+	sc := scratchPool.Get().(*scratch)
+	globalScratch = sc // want `sync\.Pool value sc escapes into a global; pooled buffers must not outlive their Put`
+	scratchPool.Put(sc)
+}
+
+// escElem stores the pooled buffer into a map that outlives it.
+func escElem(m map[int]*scratch) {
+	sc := scratchPool.Get().(*scratch)
+	m[0] = sc // want `sync\.Pool value sc escapes into a container element; pooled buffers must not outlive their Put`
+	scratchPool.Put(sc)
+}
+
+// escChan sends the pooled buffer to another goroutine while this one
+// still Puts it.
+func escChan(ch chan *scratch) {
+	sc := scratchPool.Get().(*scratch)
+	ch <- sc // want `sync\.Pool value sc escapes into a channel; pooled buffers must not outlive their Put`
+	scratchPool.Put(sc)
+}
+
+// escClosure hands the pooled buffer to a closure that is not the
+// deferred-cleanup pattern.
+func escClosure(run func(func())) {
+	sc := scratchPool.Get().(*scratch)
+	run(func() { use(sc) }) // want `sync\.Pool value sc escapes into a captured closure; pooled buffers must not outlive their Put`
+	scratchPool.Put(sc)
+}
+
+// escAlias leaks through a copy: the alias closure attributes the
+// global store back to the pooled variable.
+func escAlias() {
+	sc := scratchPool.Get().(*scratch)
+	alias := sc
+	globalScratch = alias // want `sync\.Pool value sc escapes into a global; pooled buffers must not outlive their Put`
+	scratchPool.Put(sc)
+}

@@ -1,0 +1,19 @@
+package pool
+
+// leakNever gets a buffer and forgets the pool entirely; the suggested
+// fix inserts the defer right after the Get.
+func leakNever() int {
+	sc := scratchPool.Get().(*scratch) // want `sync\.Pool value sc obtained here is never returned with Put`
+	sc.buf = sc.buf[:0]
+	return len(sc.buf)
+}
+
+// leakNeverNested leaks from inside a branch: the fix still lands on
+// the Get's own line, inside the then-block.
+func leakNeverNested(b bool) int {
+	if b {
+		sc := scratchPool.Get().(*scratch) // want `sync\.Pool value sc obtained here is never returned with Put`
+		return len(sc.buf)
+	}
+	return 0
+}

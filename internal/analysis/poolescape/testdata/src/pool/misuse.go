@@ -1,0 +1,46 @@
+package pool
+
+// useAfterPut reads the buffer after handing it back: another
+// goroutine's Get may already own it.
+func useAfterPut() int {
+	sc := scratchPool.Get().(*scratch)
+	scratchPool.Put(sc)
+	return len(sc.buf) // want `use of sc after it was returned to the pool with Put`
+}
+
+// doublePut inserts the same buffer twice: two future Gets will share
+// it.
+func doublePut() {
+	sc := scratchPool.Get().(*scratch)
+	scratchPool.Put(sc)
+	scratchPool.Put(sc) // want `sync\.Pool value sc may be returned with Put twice`
+}
+
+// maybeDouble double-Puts only when b is true — the join carries both
+// states and the may-analysis flags it.
+func maybeDouble(b bool) {
+	sc := scratchPool.Get().(*scratch)
+	if b {
+		scratchPool.Put(sc)
+	}
+	scratchPool.Put(sc) // want `sync\.Pool value sc may be returned with Put twice`
+}
+
+// deferThenPut runs the Put twice: once here, once when the defer
+// fires.
+func deferThenPut() {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	use(sc)
+	scratchPool.Put(sc) // want `sync\.Pool value sc is returned with Put here and again by the earlier defer`
+}
+
+// reGet reuses the variable for a second buffer after Putting the
+// first: legal, and the state machine tracks the re-acquisition.
+func reGet() {
+	sc := scratchPool.Get().(*scratch)
+	scratchPool.Put(sc)
+	sc = scratchPool.Get().(*scratch)
+	use(sc)
+	scratchPool.Put(sc)
+}

@@ -1,0 +1,95 @@
+package pool
+
+// earlyReturn Puts on the happy path but leaks on the error return.
+func earlyReturn(fail bool) error {
+	sc := scratchPool.Get().(*scratch)
+	if fail {
+		return errFail // want `sync\.Pool value sc is not returned with Put on this return path`
+	}
+	use(sc)
+	scratchPool.Put(sc)
+	return nil
+}
+
+// panicPath leaks when the panic unwinds: no defer stands between the
+// Get and the panic.
+func panicPath(n int) {
+	sc := scratchPool.Get().(*scratch)
+	if n < 0 {
+		panic("negative") // want `sync\.Pool value sc is not returned with Put when this panic unwinds`
+	}
+	scratchPool.Put(sc)
+}
+
+// fallsOffEnd Puts only inside the branch; the fall-through path
+// reaches the end of the function still holding the buffer.
+func fallsOffEnd(b bool) {
+	sc := scratchPool.Get().(*scratch)
+	if b {
+		scratchPool.Put(sc)
+	}
+} // want `sync\.Pool value sc is not returned with Put before the function ends`
+
+// deferClean is the canonical discipline: the defer covers the error
+// return, the normal return and any panic below it.
+func deferClean(fail bool) error {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	if fail {
+		return errFail
+	}
+	use(sc)
+	return nil
+}
+
+// deferClosure covers through a deferred literal that resets and Puts;
+// the capture is the cleanup pattern, not an escape.
+func deferClosure() {
+	sc := scratchPool.Get().(*scratch)
+	defer func() {
+		sc.buf = sc.buf[:0]
+		scratchPool.Put(sc)
+	}()
+	use(sc)
+}
+
+// branchPut Puts on both arms: every path is covered without a defer.
+func branchPut(b bool) {
+	sc := scratchPool.Get().(*scratch)
+	if b {
+		use(sc)
+		scratchPool.Put(sc)
+	} else {
+		scratchPool.Put(sc)
+	}
+}
+
+// loopClean holds the buffer across a loop with a continue and Puts
+// after it; the back edge keeps the held state consistent.
+func loopClean(xs []int) {
+	sc := scratchPool.Get().(*scratch)
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		sc.buf = append(sc.buf, byte(x))
+	}
+	scratchPool.Put(sc)
+}
+
+// wrapGet transfers ownership to the caller: the Get-wrapper pattern
+// is not a leak.
+func wrapGet() *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.buf = sc.buf[:0]
+	return sc
+}
+
+// wrapGetPartial transfers on one path but leaks on the other.
+func wrapGetPartial(b bool) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if b {
+		return sc
+	}
+	return nil // want `sync\.Pool value sc is not returned with Put on this return path`
+}

@@ -1,0 +1,15 @@
+// Package pool declares the shared scratch pool the fixture's files
+// exercise.
+package pool
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var scratchPool = sync.Pool{
+	New: func() any { return new(scratch) },
+}
+
+var errFail error
+
+func use(*scratch) {}

@@ -27,6 +27,8 @@ type Cell struct {
 const CellSize = 32
 
 // add folds one measure value into the cell.
+//
+//olaplint:noalloc
 func (c *Cell) add(v float64) {
 	if c.Count == 0 || v < c.Min {
 		c.Min = v
@@ -39,6 +41,8 @@ func (c *Cell) add(v float64) {
 }
 
 // merge folds another cell into this one.
+//
+//olaplint:noalloc
 func (c *Cell) merge(o Cell) {
 	if o.Count == 0 {
 		return
@@ -66,6 +70,8 @@ type Agg struct {
 }
 
 // fold accumulates a cell into the aggregate.
+//
+//olaplint:noalloc
 func (a *Agg) fold(c Cell) {
 	if c.Count == 0 {
 		return
@@ -86,6 +92,8 @@ func (a *Agg) fold(c Cell) {
 
 // foldRun accumulates a contiguous run of cells, skipping empties — the
 // generic dense-chunk kernel for partially filled runs.
+//
+//olaplint:noalloc
 func (a *Agg) foldRun(run []Cell) {
 	for i := range run {
 		if run[i].Count != 0 {
@@ -100,6 +108,8 @@ func (a *Agg) foldRun(run []Cell) {
 // per-cell Count != 0 occupancy test and the per-cell empty-accumulator
 // branch both vanish from the loop; results are identical to foldRun
 // cell by cell.
+//
+//olaplint:noalloc
 func (a *Agg) foldRunFull(run []Cell) {
 	if len(run) == 0 {
 		return

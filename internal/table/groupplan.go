@@ -96,6 +96,8 @@ func BindGroupScan(t *FactTable, req GroupScanRequest) (*GroupScanPlan, error) {
 }
 
 // key packs the group coordinates of row r.
+//
+//olaplint:noalloc
 func (pl *GroupScanPlan) key(r int) GroupKey {
 	var k GroupKey
 	for _, gc := range pl.gcols {

@@ -44,6 +44,8 @@ var scanScratchPool = sync.Pool{
 // write cursor advances only on a match, so a mispredicted row costs a
 // dead store instead of a pipeline flush — the MonetDB/X100 idiom the
 // motivation cites.
+//
+//olaplint:noalloc
 func seedRange(col []uint32, base, n int, from, to uint32, sel []int32) int {
 	k := 0
 	span := to - from
@@ -56,6 +58,7 @@ func seedRange(col []uint32, base, n int, from, to uint32, sel []int32) int {
 	return k
 }
 
+//olaplint:noalloc
 func refineRange(col []uint32, base int, from, to uint32, sel []int32) int {
 	k := 0
 	span := to - from
@@ -68,6 +71,7 @@ func refineRange(col []uint32, base int, from, to uint32, sel []int32) int {
 	return k
 }
 
+//olaplint:noalloc
 func orMatches(v, from, to uint32, or []CodeRange) bool {
 	if v >= from && v <= to {
 		return true
@@ -80,6 +84,7 @@ func orMatches(v, from, to uint32, or []CodeRange) bool {
 	return false
 }
 
+//olaplint:noalloc
 func seedOr(col []uint32, base, n int, from, to uint32, or []CodeRange, sel []int32) int {
 	k := 0
 	for i := 0; i < n; i++ {
@@ -91,6 +96,7 @@ func seedOr(col []uint32, base, n int, from, to uint32, or []CodeRange, sel []in
 	return k
 }
 
+//olaplint:noalloc
 func refineOr(col []uint32, base int, from, to uint32, or []CodeRange, sel []int32) int {
 	k := 0
 	for _, i := range sel {
@@ -102,6 +108,7 @@ func refineOr(col []uint32, base int, from, to uint32, or []CodeRange, sel []int
 	return k
 }
 
+//olaplint:noalloc
 func pointMatches(v uint32, points []uint32) bool {
 	for _, p := range points {
 		if v == p {
@@ -111,6 +118,7 @@ func pointMatches(v uint32, points []uint32) bool {
 	return false
 }
 
+//olaplint:noalloc
 func seedPoints(col []uint32, base, n int, points []uint32, sel []int32) int {
 	k := 0
 	for i := 0; i < n; i++ {
@@ -122,6 +130,7 @@ func seedPoints(col []uint32, base, n int, points []uint32, sel []int32) int {
 	return k
 }
 
+//olaplint:noalloc
 func refinePoints(col []uint32, base int, points []uint32, sel []int32) int {
 	k := 0
 	for _, i := range sel {
@@ -134,6 +143,8 @@ func refinePoints(col []uint32, base int, points []uint32, sel []int32) int {
 }
 
 // seed dispatches the shape once per batch (not once per row).
+//
+//olaplint:noalloc
 func (p *boundPred) seed(base, n int, sel []int32) int {
 	switch p.shape {
 	case shapePoints:
@@ -146,6 +157,8 @@ func (p *boundPred) seed(base, n int, sel []int32) int {
 }
 
 // refine dispatches the shape once per batch over the surviving rows.
+//
+//olaplint:noalloc
 func (p *boundPred) refine(base int, sel []int32) int {
 	switch p.shape {
 	case shapePoints:
@@ -164,6 +177,7 @@ func (p *boundPred) refine(base int, sel []int32) int {
 // ascending, one float add per matching row — so results are bit-identical
 // to the reference kernel, not merely close.
 
+//olaplint:noalloc
 func sumSel(acc float64, meas []float64, base int, sel []int32) float64 {
 	for _, i := range sel {
 		acc += meas[base+int(i)]
@@ -171,6 +185,7 @@ func sumSel(acc float64, meas []float64, base int, sel []int32) float64 {
 	return acc
 }
 
+//olaplint:noalloc
 func minSel(acc float64, first bool, meas []float64, base int, sel []int32) float64 {
 	for _, i := range sel {
 		v := meas[base+int(i)]
@@ -182,6 +197,7 @@ func minSel(acc float64, first bool, meas []float64, base int, sel []int32) floa
 	return acc
 }
 
+//olaplint:noalloc
 func maxSel(acc float64, first bool, meas []float64, base int, sel []int32) float64 {
 	for _, i := range sel {
 		v := meas[base+int(i)]
@@ -193,6 +209,7 @@ func maxSel(acc float64, first bool, meas []float64, base int, sel []int32) floa
 	return acc
 }
 
+//olaplint:noalloc
 func sumRun(acc float64, run []float64) float64 {
 	for _, v := range run {
 		acc += v
@@ -200,6 +217,7 @@ func sumRun(acc float64, run []float64) float64 {
 	return acc
 }
 
+//olaplint:noalloc
 func minRun(acc float64, first bool, run []float64) float64 {
 	for _, v := range run {
 		if first || v < acc {
@@ -210,6 +228,7 @@ func minRun(acc float64, first bool, run []float64) float64 {
 	return acc
 }
 
+//olaplint:noalloc
 func maxRun(acc float64, first bool, run []float64) float64 {
 	for _, v := range run {
 		if first || v > acc {
