@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fix lint-fix-check bce-check bce-baseline test test-chaos race bench bench-smoke repro repro-quick examples clean
+.PHONY: all build vet lint lint-fix lint-fix-check bce-check bce-baseline test test-chaos race bench bench-smoke bench-compare repro repro-quick examples clean
 
 # Pre-merge checklist: `make all` runs build → vet → lint → bce-check →
 # test; run `make race` as well before merging scheduler or simulator
@@ -80,6 +80,14 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 	$(GO) run ./cmd/olapbench -quick -experiment ingest
+
+# Benchmark regression gate: fresh quick runs (in a scratch directory) of
+# scan-kernels, ingest and fusion, diffed against the committed
+# BENCH_*.json baselines. Every gated headline is a within-run ratio, so
+# machine speed divides out; fails on a >15% regression. Refresh a stale
+# baseline with `olapbench -experiment <id>` at full scale.
+bench-compare:
+	$(GO) run ./cmd/olapbench -compare
 
 # Regenerate every table and figure of the paper at full scale.
 repro:

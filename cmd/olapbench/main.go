@@ -8,6 +8,8 @@
 //	olapbench -experiment table3       # one experiment
 //	olapbench -list                    # list experiment IDs
 //	olapbench -seed 7                  # reseed the synthetic workloads
+//	olapbench -compare                 # quick re-run vs committed BENCH_*.json;
+//	                                   # exit 1 on >15% headline regression
 package main
 
 import (
@@ -26,8 +28,38 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		asJSON     = flag.Bool("json", false, "emit results as JSON instead of text tables")
+		compare    = flag.Bool("compare", false, "diff a fresh quick run against the committed BENCH_*.json baselines in the current directory")
+		tolerance  = flag.Float64("tolerance", experiments.DefaultCompareTolerance, "relative regression that fails -compare")
 	)
 	flag.Parse()
+
+	if *compare {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapbench:", err)
+			os.Exit(1)
+		}
+		rows, failed, err := experiments.Compare(cwd, *seed, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "olapbench:", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				fmt.Fprintln(os.Stderr, "olapbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			experiments.FprintComparison(os.Stdout, rows, *tolerance)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "olapbench: %d headline metric(s) regressed beyond %.0f%%\n", failed, *tolerance*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -26,6 +26,8 @@ import (
 	"strings"
 
 	olap "hybridolap"
+	"hybridolap/internal/engine"
+	"hybridolap/internal/sched"
 	"hybridolap/internal/table"
 )
 
@@ -57,7 +59,10 @@ func main() {
 		sess = r
 	} else {
 		fmt.Printf("building demo system (%d rows)...\n", *rows)
-		db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal})
+		db, err := olap.Open(olap.Options{
+			Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal,
+			Fusion: true, ResultCache: true,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "olapcli:", err)
 			os.Exit(1)
@@ -198,6 +203,19 @@ func printStats(db *olap.DB) {
 	for i, n := range st.ToGPU {
 		fmt.Printf("  gpu[%d]: %d\n", i, n)
 	}
+	if st.FusedJobs > 0 {
+		fmt.Printf("fusion: jobs %d  members %d  fan-in", st.FusedJobs, st.FusedMembers)
+		for i, n := range st.FusionFanIn {
+			if n > 0 {
+				fmt.Printf(" %s:%d", sched.FanInBucketLabels[i], n)
+			}
+		}
+		fmt.Println()
+	}
+	if cs := db.CacheStats(); cs != (engine.CacheStats{}) {
+		fmt.Printf("cache: hits %d  misses %d  subsumption-hits %d  epoch-invalidations %d  stores %d  evictions %d\n",
+			cs.Hits, cs.Misses, cs.SubsumptionHits, cs.EpochInvalidations, cs.Stores, cs.Evictions)
+	}
 	if db.System().Live() != nil {
 		ist := db.IngestStats()
 		fmt.Printf("ingest: epoch %d  rows %d  batches %d  delta-stripes %d  compactions %d  maintenance-jobs %d\n",
@@ -223,7 +241,9 @@ func runQuery(db *olap.DB, sql string) {
 		fmt.Printf("%d groups via %s\n", len(rows), route.Kind)
 		return
 	}
-	res, err := db.Query(sql)
+	// The serving path: repeated queries come back from the result cache
+	// and the route string says so.
+	res, err := db.Serve(q)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

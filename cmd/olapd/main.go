@@ -31,11 +31,20 @@ func main() {
 		wal      = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
 		inflight = flag.Int("max-inflight", defaultMaxInflight, "concurrent /query, /explain and /ingest requests")
 		queued   = flag.Int("max-queue", defaultMaxQueued, "requests that may wait for a slot before 429s")
+		fusion   = flag.Bool("fusion", true, "fuse compatible concurrent GPU-bound queries into shared scans")
+		fwindow  = flag.Duration("fusion-window", time.Millisecond, "how long the first arrival holds a fusion window open")
+		ffanin   = flag.Int("fusion-fanin", 64, "close a fusion window early at this many members")
+		cache    = flag.Bool("cache", true, "enable the epoch-keyed result cache")
+		centries = flag.Int("cache-entries", 0, "result cache capacity (0 = default 4096)")
 	)
 	flag.Parse()
 
 	log.Printf("olapd: building system (%d rows)...", *rows)
-	db, err := olap.Open(olap.Options{Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal})
+	db, err := olap.Open(olap.Options{
+		Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal,
+		Fusion: *fusion, FusionWindow: *fwindow, FusionMaxFanIn: *ffanin,
+		ResultCache: *cache, CacheMaxEntries: *centries,
+	})
 	if err != nil {
 		log.Fatal("olapd: ", err)
 	}

@@ -12,6 +12,7 @@ import (
 
 	olap "hybridolap"
 	"hybridolap/internal/ingest"
+	"hybridolap/internal/sched"
 	"hybridolap/internal/table"
 )
 
@@ -204,6 +205,22 @@ type ingestStats struct {
 	CompactFailures  int64  `json:"compaction_failures"`
 }
 
+type fusionStats struct {
+	FusedJobs    int64    `json:"fused_jobs"`
+	FusedMembers int64    `json:"fused_members"`
+	FanInLabels  []string `json:"fan_in_labels"`
+	FanIn        []int64  `json:"fan_in"`
+}
+
+type cacheStats struct {
+	Hits               int64 `json:"hits"`
+	Misses             int64 `json:"misses"`
+	SubsumptionHits    int64 `json:"subsumption_hits"`
+	EpochInvalidations int64 `json:"epoch_invalidations"`
+	Stores             int64 `json:"stores"`
+	Evictions          int64 `json:"evictions"`
+}
+
 type statsResponse struct {
 	Submitted         int64        `json:"submitted"`
 	Resubmitted       int64        `json:"resubmitted"`
@@ -216,6 +233,8 @@ type statsResponse struct {
 	Quarantines       int64        `json:"quarantines"`
 	Reprobes          int64        `json:"reprobes"`
 	PartitionHealth   []string     `json:"partition_health"`
+	Fusion            fusionStats  `json:"fusion"`
+	Cache             cacheStats   `json:"cache"`
 	Ingest            *ingestStats `json:"ingest,omitempty"`
 }
 
@@ -235,6 +254,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, h := range s.db.System().Scheduler().HealthStates() {
 		resp.PartitionHealth = append(resp.PartitionHealth, h.String())
+	}
+	resp.Fusion = fusionStats{
+		FusedJobs:    st.FusedJobs,
+		FusedMembers: st.FusedMembers,
+		FanInLabels:  sched.FanInBucketLabels,
+		FanIn:        st.FusionFanIn,
+	}
+	cs := s.db.CacheStats()
+	resp.Cache = cacheStats{
+		Hits:               cs.Hits,
+		Misses:             cs.Misses,
+		SubsumptionHits:    cs.SubsumptionHits,
+		EpochInvalidations: cs.EpochInvalidations,
+		Stores:             cs.Stores,
+		Evictions:          cs.Evictions,
 	}
 	if s.db.System().Live() != nil {
 		ist := s.db.IngestStats()
@@ -317,11 +351,16 @@ type groupRow struct {
 }
 
 type queryResponse struct {
-	Value     *float64   `json:"value,omitempty"`
-	Rows      *int64     `json:"rows,omitempty"`
-	Groups    []groupRow `json:"groups,omitempty"`
-	Route     string     `json:"route"`
-	LatencyMS float64    `json:"latency_ms"`
+	Value  *float64   `json:"value,omitempty"`
+	Rows   *int64     `json:"rows,omitempty"`
+	Groups []groupRow `json:"groups,omitempty"`
+	Route  string     `json:"route"`
+	// Serving-path markers: shared-scan membership and result-cache hits.
+	Fused     bool    `json:"fused,omitempty"`
+	FanIn     int     `json:"fan_in,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Subsumed  bool    `json:"subsumed,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 type explainResponse struct {
@@ -397,13 +436,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	res, err := s.db.Run(q)
+	// Scalar queries take the serving path: concurrent compatible requests
+	// admitted by the semaphore fuse into shared scans, and repeated
+	// requests are answered from the result cache. With -fusion=false and
+	// -cache=false this is equivalent to Run.
+	res, err := s.db.Serve(q)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		Value: &res.Value, Rows: &res.Rows,
-		Route: res.Route.Kind, LatencyMS: res.Latency.Seconds() * 1000,
+		Route: res.Route.Kind,
+		Fused: res.Route.Fused, FanIn: res.Route.FanIn,
+		Cached: res.Route.Cached, Subsumed: res.Route.Subsumed,
+		LatencyMS: res.Latency.Seconds() * 1000,
 	})
 }

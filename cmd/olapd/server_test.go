@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	olap "hybridolap"
 )
@@ -268,5 +270,87 @@ func TestBodyTooLarge(t *testing.T) {
 		if code := post(t, ts, path, huge, nil); code != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s with oversized body = %d, want 413", path, code)
 		}
+	}
+}
+
+// TestQueryServingPath drives the fusion window and result cache through
+// the HTTP handler: concurrent compatible scalar queries fuse into shared
+// scans, repeats hit the cache, and /stats reports both.
+func TestQueryServingPath(t *testing.T) {
+	db, err := olap.Open(olap.Options{
+		Rows: 2000, Seed: 5,
+		Fusion: true, FusionWindow: 50 * time.Millisecond,
+		ResultCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newMux(db))
+	t.Cleanup(ts.Close)
+
+	// time.day is level 2 — below the materialised cubes — so these take
+	// the GPU serving path and share one fusion window.
+	sqls := []string{
+		`{"sql":"SELECT count(*) WHERE time.day BETWEEN 0 AND 255"}`,
+		`{"sql":"SELECT sum(sales) WHERE time.day BETWEEN 10 AND 200"}`,
+		`{"sql":"SELECT min(sales) WHERE time.day BETWEEN 5 AND 250"}`,
+		`{"sql":"SELECT max(quantity) WHERE time.day BETWEEN 0 AND 100"}`,
+	}
+	type reply struct {
+		resp queryResponse
+		code int
+	}
+	replies := make([]reply, len(sqls))
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i, sql := range sqls {
+		wg.Add(1)
+		go func(i int, sql string) {
+			defer wg.Done()
+			<-start
+			replies[i].code = postQuery(t, ts, sql, &replies[i].resp)
+		}(i, sql)
+	}
+	close(start)
+	wg.Wait()
+	fusedSeen := 0
+	for i, r := range replies {
+		if r.code != 200 {
+			t.Fatalf("query %d: status %d", i, r.code)
+		}
+		if r.resp.Fused {
+			fusedSeen++
+			if r.resp.FanIn < 2 || !strings.HasPrefix(r.resp.Route, "fused gpu") {
+				t.Fatalf("query %d: fused reply %+v", i, r.resp)
+			}
+		}
+	}
+	if fusedSeen == 0 {
+		t.Fatal("no query reported fused execution")
+	}
+
+	// A repeat is served from the cache.
+	var again queryResponse
+	if code := postQuery(t, ts, sqls[0], &again); code != 200 || !again.Cached {
+		t.Fatalf("repeat: %d %+v", code, again)
+	}
+	// A narrowed count subsumes from the wide entry's cells.
+	var narrow queryResponse
+	if code := postQuery(t, ts, `{"sql":"SELECT count(*) WHERE time.day BETWEEN 30 AND 60"}`, &narrow); code != 200 || !narrow.Subsumed {
+		t.Fatalf("narrow: %d %+v", code, narrow)
+	}
+
+	var st statsResponse
+	if code := get(t, ts, "/stats", &st); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Fusion.FusedJobs == 0 || st.Fusion.FusedMembers < int64(fusedSeen) {
+		t.Fatalf("fusion stats: %+v", st.Fusion)
+	}
+	if len(st.Fusion.FanIn) != len(st.Fusion.FanInLabels) {
+		t.Fatalf("fan-in histogram arity: %+v", st.Fusion)
+	}
+	if st.Cache.Stores == 0 || st.Cache.Hits == 0 || st.Cache.SubsumptionHits == 0 {
+		t.Fatalf("cache stats: %+v", st.Cache)
 	}
 }

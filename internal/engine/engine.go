@@ -20,6 +20,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hybridolap/internal/cube"
 	"hybridolap/internal/fault"
@@ -71,6 +72,21 @@ type Config struct {
 	// through the scheduler before the query is reported failed (default 2;
 	// negative disables retries).
 	MaxRetries int
+	// FusionEnabled turns on the Serve fusion window: compatible GPU-bound
+	// queries arriving within FusionWindow are booked and executed as one
+	// fused job of up to FusionMaxFanIn members.
+	FusionEnabled bool
+	// FusionWindow is how long the first arrival holds the window open for
+	// compatible peers (default 1ms wall clock).
+	FusionWindow time.Duration
+	// FusionMaxFanIn closes the window early once this many members joined
+	// (default 64).
+	FusionMaxFanIn int
+	// CacheEnabled turns on the epoch-keyed result cache consulted and
+	// populated by Serve.
+	CacheEnabled bool
+	// CacheMaxEntries bounds the cache (default DefaultCacheMaxEntries).
+	CacheMaxEntries int
 }
 
 // System is a runnable hybrid OLAP engine.
@@ -85,6 +101,18 @@ type System struct {
 	// workers, RunGrouped, Explain and the compaction pacer all share the
 	// one scheduler.
 	schedMu sync.Mutex
+
+	// start anchors Serve's virtual clock: every Serve submission shares
+	// one monotone origin, so fused bookings from concurrent handlers
+	// compare consistently against the queue clocks.
+	start time.Time
+
+	// cache is the epoch-keyed result cache (nil when disabled).
+	cache *resultCache
+
+	// fusionMu guards the open fusion windows (one per compatibility key).
+	fusionMu     sync.Mutex
+	fusionGroups map[string]*fusionGroup
 }
 
 // New validates the wiring and builds the scheduler.
@@ -129,17 +157,29 @@ func New(cfg Config) (*System, error) {
 	if cfg.Faults != nil {
 		cfg.Device.SetFaults(cfg.Faults)
 	}
+	if cfg.FusionWindow <= 0 {
+		cfg.FusionWindow = time.Millisecond
+	}
+	if cfg.FusionMaxFanIn <= 0 {
+		cfg.FusionMaxFanIn = 64
+	}
 	cfg.Sched.GPUWidths = widths
 	s, err := sched.New(cfg.Sched)
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		cfg:       cfg,
-		scheduler: s,
-		widths:    widths,
-		totalCols: cfg.Table.Schema().TotalColumns(),
-	}, nil
+	sys := &System{
+		cfg:          cfg,
+		scheduler:    s,
+		widths:       widths,
+		totalCols:    cfg.Table.Schema().TotalColumns(),
+		start:        time.Now(),
+		fusionGroups: make(map[string]*fusionGroup),
+	}
+	if cfg.CacheEnabled {
+		sys.cache = newResultCache(cfg.CacheMaxEntries)
+	}
+	return sys, nil
 }
 
 // Scheduler exposes the scheduler (telemetry, tests).

@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"hybridolap/internal/fault"
+	"hybridolap/internal/gpusim"
+	"hybridolap/internal/query"
+	"hybridolap/internal/sched"
+	"hybridolap/internal/table"
+)
+
+// Serve is the high-QPS serving path: one scalar query in, one answer
+// out, with the result cache consulted first and compatible concurrent
+// GPU-bound queries fused into shared scans.
+//
+//	pin epoch → translate → cache lookup → estimate
+//	  ├── CPU-answerable or fusion off → RunReal (cube walk / solo scan)
+//	  └── GPU-bound → fusion window → ONE fused job for K members
+//
+// Soundness is preserved at every turn: fused members get bit-identical
+// answers to solo execution on the same partition (the gpusim fused
+// kernels pin this), cache hits replay stored execution bits or exact
+// count/min/max folds, and a fused job failure sends every member through
+// RunReal's deadline-aware retry path individually, so fusion never
+// reduces fault tolerance.
+type ServeOutcome struct {
+	Result table.ScanResult
+	// Queue is the placement that produced the answer (for cache hits,
+	// the placement that produced the stored entry).
+	Queue sched.QueueRef
+	// Fused reports the answer came from a fused job of FanIn members.
+	Fused bool
+	FanIn int
+	// CacheHit/Subsumed report a cache answer (exact / interval-subsumed).
+	CacheHit bool
+	Subsumed bool
+	// Attempts counts real executions (0 for cache hits).
+	Attempts int
+	Latency  time.Duration
+}
+
+// fusionMember is one query waiting in a fusion window.
+type fusionMember struct {
+	req       table.ScanRequest
+	est       sched.Estimates
+	wantCells bool
+	// out is filled by the window leader; fallback marks members that must
+	// re-run individually (failed fused job or unplaceable booking).
+	out      ServeOutcome
+	fallback bool
+}
+
+// fusionGroup is one open fusion window: every member shares the pinned
+// epoch and the predicate-column compatibility key.
+type fusionGroup struct {
+	key     string
+	snap    *table.Snapshot
+	epoch   uint64
+	members []*fusionMember
+	full    chan struct{} // closed when FusionMaxFanIn members joined
+	done    chan struct{} // closed by the leader when outcomes are ready
+	fired   bool          // guarded by System.fusionMu
+}
+
+// nowS is Serve's scheduler clock: seconds since system construction, one
+// monotone origin shared by every concurrent handler.
+func (s *System) nowS() float64 { return time.Since(s.start).Seconds() }
+
+// Serve answers one scalar query through the cache + fusion serving path.
+// Safe for concurrent use; concurrency is what fills fusion windows.
+func (s *System) Serve(q0 *query.Query) (ServeOutcome, error) {
+	started := time.Now()
+	if q0.Grouped() {
+		return ServeOutcome{}, fmt.Errorf("engine: query %d has GROUP BY; Serve answers scalar queries", q0.ID)
+	}
+	q := q0.Clone()
+	snap := s.pin()
+	var epoch uint64
+	if snap != nil {
+		epoch = snap.Epoch()
+	}
+
+	// Translate before the window: fused members must already be integer
+	// predicates. A dictionary fault here falls back to the full RunReal
+	// path, whose translation worker owns deadline-aware retries.
+	if q.NeedsTranslation() {
+		if err := s.cfg.Faults.Check(fault.DictLookup, -1); err != nil {
+			return s.runSingle(q0, started, nil, epoch)
+		}
+		if _, err := query.Translate(q, s.dicts()); err != nil {
+			return s.runSingle(q0, started, nil, epoch)
+		}
+	}
+	req, empty, err := q.ToScanRequest(s.cfg.Table.Schema())
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	if empty {
+		// A predicate names a string no dictionary knows: no row can match
+		// at any epoch.
+		return ServeOutcome{Latency: time.Since(started)}, nil
+	}
+
+	if s.cache != nil {
+		if ans, ok := s.cache.lookup(&req, epoch); ok {
+			return ServeOutcome{
+				Result: ans.result, Queue: ans.queue,
+				CacheHit: true, Subsumed: ans.subsumed,
+				Latency: time.Since(started),
+			}, nil
+		}
+	}
+
+	est, err := s.Estimate(q)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	// CPU-answerable queries bypass the window: shared scans target the
+	// GPU fact-table path, and the cube walk is already cheap.
+	if !s.cfg.FusionEnabled || est.CPUOK {
+		return s.runSingle(q, started, &req, epoch)
+	}
+
+	m := &fusionMember{req: req, est: est, wantCells: s.wantCells(&req)}
+	g, leader := s.joinWindow(epoch, snap, &req, m)
+	if leader {
+		timer := time.NewTimer(s.cfg.FusionWindow)
+		select {
+		case <-g.full:
+			timer.Stop()
+		case <-timer.C:
+		}
+		s.closeWindow(g)
+		s.executeFused(g)
+		close(g.done)
+	} else {
+		<-g.done
+	}
+	if m.fallback {
+		// Fused booking or execution failed: this member retries alone
+		// through the existing deadline-aware retry path.
+		return s.runSingle(q, started, &req, epoch)
+	}
+	m.out.Latency = time.Since(started)
+	return m.out, nil
+}
+
+// cellCoverageFloor gates per-cell accumulation to near-full-domain
+// anchor queries: a cell pass costs a map insert per matching row (orders
+// of magnitude above a plain scalar scan), so it is only paid for entries
+// wide enough that nearly every future narrower query on the same columns
+// can fold from them. Everything narrower caches exact-match only.
+const cellCoverageFloor = 0.95
+
+// wantCells reports whether Serve should ask the fused kernel for
+// per-cell aggregates: the request must be subsumption-shaped AND cover
+// (nearly) its whole predicate domain — see cellCoverageFloor.
+func (s *System) wantCells(req *table.ScanRequest) bool {
+	if s.cache == nil {
+		return false
+	}
+	if _, ok := subsumableShape(req, table.CanonicalPredOrder(req.Predicates)); !ok {
+		return false
+	}
+	sc := s.cfg.Table.Schema()
+	coverage := 1.0
+	for _, p := range req.Predicates {
+		card := sc.LevelCardinality(p.Dim, p.Level)
+		coverage *= float64(p.To-p.From+1) / float64(card)
+	}
+	return coverage >= cellCoverageFloor
+}
+
+// runSingle answers one query through RunReal (scheduling, feedback,
+// retries included) and caches the answer when req is known.
+func (s *System) runSingle(q *query.Query, started time.Time, req *table.ScanRequest, epoch uint64) (ServeOutcome, error) {
+	res, err := s.RunReal([]*query.Query{q})
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	o := res.Outcomes[0]
+	out := ServeOutcome{
+		Result: o.Result, Queue: o.Queue,
+		Attempts: o.Attempts, Latency: time.Since(started),
+	}
+	if o.Err != nil {
+		return out, o.Err
+	}
+	if s.cache != nil && req != nil {
+		// RunReal pins its own epoch; epochs are monotone, so the answer is
+		// from the epoch Serve pinned iff no newer epoch has been published
+		// by now. Skip the store otherwise — never cache cross-epoch bits.
+		if cur := s.pin(); cur == nil || cur.Epoch() == epoch {
+			s.cache.store(req, epoch, o.Result, nil, o.Queue)
+		}
+	}
+	return out, nil
+}
+
+// joinWindow adds a member to the open window of its compatibility key,
+// creating one (and making the caller its leader) when none is open.
+func (s *System) joinWindow(epoch uint64, snap *table.Snapshot, req *table.ScanRequest, m *fusionMember) (*fusionGroup, bool) {
+	key := strconv.FormatUint(epoch, 10) + "/" + table.FusionKey(*req)
+	s.fusionMu.Lock()
+	defer s.fusionMu.Unlock()
+	if g, ok := s.fusionGroups[key]; ok && !g.fired {
+		g.members = append(g.members, m)
+		if len(g.members) >= s.cfg.FusionMaxFanIn {
+			g.fired = true
+			delete(s.fusionGroups, key)
+			close(g.full)
+		}
+		return g, false
+	}
+	g := &fusionGroup{
+		key: key, snap: snap, epoch: epoch,
+		members: []*fusionMember{m},
+		full:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if len(g.members) >= s.cfg.FusionMaxFanIn {
+		g.fired = true
+		close(g.full)
+	} else {
+		s.fusionGroups[key] = g
+	}
+	return g, true
+}
+
+// closeWindow marks the group fired so no further member can join
+// (idempotent with the max-fan-in close in joinWindow).
+func (s *System) closeWindow(g *fusionGroup) {
+	s.fusionMu.Lock()
+	if !g.fired {
+		g.fired = true
+		delete(s.fusionGroups, g.key)
+	}
+	s.fusionMu.Unlock()
+}
+
+// executeFused books and runs one window's members as a single fused GPU
+// job, then distributes answers (or marks everyone for individual
+// fallback — a fused failure must never fail a member outright).
+//
+// Identical members are coalesced first: a hot template arriving K times
+// in one window executes ONCE, and every duplicate receives the same
+// answer — trivially bit-identical (same partition, same bits), and the
+// kernel refines each distinct predicate set once instead of K times.
+func (s *System) executeFused(g *fusionGroup) {
+	members := g.members
+	rep := make([]int, len(members)) // member -> index into the unique set
+	uniq := make(map[string]int, len(members))
+	ests := make([]sched.Estimates, len(members))
+	var reqs []table.ScanRequest
+	var wantCells []bool
+	for i, m := range members {
+		// The scheduler books the served fan-in (every member pays its ε);
+		// the kernel runs the unique request set.
+		ests[i] = m.est
+		k := cacheKey(&m.req, table.CanonicalPredOrder(m.req.Predicates))
+		if ui, ok := uniq[k]; ok {
+			rep[i] = ui
+			wantCells[ui] = wantCells[ui] || m.wantCells
+			continue
+		}
+		uniq[k] = len(reqs)
+		rep[i] = len(reqs)
+		reqs = append(reqs, m.req)
+		wantCells = append(wantCells, m.wantCells)
+	}
+	s.schedMu.Lock()
+	d, err := s.scheduler.SubmitFused(s.nowS(), ests)
+	s.schedMu.Unlock()
+	if err != nil {
+		for _, m := range members {
+			m.fallback = true
+		}
+		return
+	}
+	part := s.cfg.Device.Partitions()[d.Queue.Index]
+	t0 := time.Now()
+	var answers []gpusim.FusedAnswer
+	var execErr error
+	if g.snap != nil {
+		answers, execErr = part.ExecuteFusedSnapshot(g.snap, reqs, wantCells)
+	} else {
+		answers, execErr = part.ExecuteFused(reqs, wantCells)
+	}
+	act := time.Since(t0).Seconds()
+	s.schedMu.Lock()
+	s.scheduler.Feedback(d.Queue, act-(d.End-d.Start), s.nowS())
+	if execErr != nil {
+		s.scheduler.ReportFailure(d.Queue, s.nowS())
+	} else {
+		s.scheduler.ReportSuccess(d.Queue)
+	}
+	s.schedMu.Unlock()
+	if execErr != nil {
+		for _, m := range members {
+			m.fallback = true
+		}
+		return
+	}
+	for i, m := range members {
+		a := &answers[rep[i]]
+		m.out = ServeOutcome{
+			Result: a.Result, Queue: d.Queue,
+			Fused: true, FanIn: len(members), Attempts: 1,
+		}
+	}
+	if s.cache != nil {
+		for ui := range reqs {
+			s.cache.store(&reqs[ui], g.epoch, answers[ui].Result, answers[ui].Cells, d.Queue)
+		}
+	}
+}

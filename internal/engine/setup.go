@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"hybridolap/internal/cube"
 	"hybridolap/internal/fault"
@@ -59,6 +60,17 @@ type SetupSpec struct {
 	// MaxRetries bounds re-booking of failed GPU attempts (default 2;
 	// negative disables retries).
 	MaxRetries int
+	// Fusion enables the Serve fusion window; FusionWindow and
+	// FusionMaxFanIn tune it (defaults 1ms, 64). FusionEpsilonSeconds is
+	// the scheduler's per-member shared-scan overhead ε.
+	Fusion               bool
+	FusionWindow         time.Duration
+	FusionMaxFanIn       int
+	FusionEpsilonSeconds float64
+	// Cache enables the epoch-keyed result cache consulted by Serve;
+	// CacheMaxEntries bounds it (default engine.DefaultCacheMaxEntries).
+	Cache           bool
+	CacheMaxEntries int
 }
 
 // Setup generates the fact table on the paper schema, loads it into a
@@ -134,14 +146,20 @@ func Setup(spec SetupSpec) (*System, error) {
 		Live:            store,
 		Faults:          spec.Faults,
 		MaxRetries:      spec.MaxRetries,
+		FusionEnabled:   spec.Fusion,
+		FusionWindow:    spec.FusionWindow,
+		FusionMaxFanIn:  spec.FusionMaxFanIn,
+		CacheEnabled:    spec.Cache,
+		CacheMaxEntries: spec.CacheMaxEntries,
 		Sched: sched.Config{
-			DeadlineSeconds:     spec.DeadlineSeconds,
-			Policy:              spec.Policy,
-			Placement:           spec.Placement,
-			Translation:         spec.Translation,
-			DisableFeedback:     spec.DisableFeedback,
-			QuarantineThreshold: spec.QuarantineThreshold,
-			ReprobeSeconds:      spec.ReprobeSeconds,
+			DeadlineSeconds:      spec.DeadlineSeconds,
+			Policy:               spec.Policy,
+			Placement:            spec.Placement,
+			Translation:          spec.Translation,
+			DisableFeedback:      spec.DisableFeedback,
+			QuarantineThreshold:  spec.QuarantineThreshold,
+			ReprobeSeconds:       spec.ReprobeSeconds,
+			FusionEpsilonSeconds: spec.FusionEpsilonSeconds,
 		},
 	})
 	if err != nil {

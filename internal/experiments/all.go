@@ -31,6 +31,7 @@ func Registry() map[string]Runner {
 		"batch-heuristics":     BatchHeuristics,
 		"scan-kernels":         ScanKernels,
 		"ingest":               IngestThroughput,
+		"fusion":               MultiQueryFusion,
 	}
 }
 
@@ -40,7 +41,7 @@ var order = []string{
 	"fig3", "fig4", "fig5", "fig8", "fig9",
 	"ablation-placement", "ablation-translation", "ablation-feedback",
 	"ablation-globaldict", "ablation-layout", "batch-heuristics",
-	"scan-kernels", "ingest",
+	"scan-kernels", "ingest", "fusion",
 }
 
 // IDs returns all experiment IDs in presentation order.

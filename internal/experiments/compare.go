@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Benchmark regression gate: `olapbench -compare` re-runs the benchmark
+// experiments at quick scale in a scratch directory and diffs each fresh
+// headline metric against the committed BENCH_*.json baselines in the
+// invocation directory. Every gated metric is a WITHIN-RUN ratio (kernel
+// speedup, WAL overhead, serving-on/off QPS) — machine speed divides out,
+// so a quick run on a slower box still reproduces the committed ratio —
+// and the scalar compared is a geometric mean across cases, which damps
+// single-case noise enough for a meaningful tolerance.
+
+// DefaultCompareTolerance is the relative regression that fails the gate:
+// a fresh headline below (1 - tolerance) x committed is an error.
+const DefaultCompareTolerance = 0.15
+
+// ComparisonRow is one gated metric of the compare run.
+type ComparisonRow struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Committed  float64 `json:"committed"`
+	Fresh      float64 `json:"fresh"`
+	Ratio      float64 `json:"ratio"` // fresh / committed
+	OK         bool    `json:"ok"`
+}
+
+// compareSpec ties one experiment to its baseline file and headline.
+type compareSpec struct {
+	id      string
+	file    string
+	metric  string
+	quick   bool // rerun at quick scale (full when the headline is scale-sensitive)
+	extract func(raw []byte) (float64, error)
+}
+
+// geomean returns the geometric mean of xs (which must be positive).
+func geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("non-positive sample %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// scanHeadline is the geometric mean of the vectorized-vs-reference
+// speedup across every kernel case.
+func scanHeadline(raw []byte) (float64, error) {
+	var r scanKernelsReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return 0, err
+	}
+	var sp []float64
+	for _, c := range r.Results {
+		sp = append(sp, c.Speedup)
+	}
+	return geomean(sp)
+}
+
+// ingestHeadline is the WAL overhead ratio: wal-on / wal-off ingest
+// throughput at batch=1000 (higher is better, 1.0 = free WAL).
+func ingestHeadline(raw []byte) (float64, error) {
+	var r ingestReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return 0, err
+	}
+	var on, off float64
+	for _, c := range r.Results {
+		switch c.Case {
+		case "ingest batch=1000 wal=on":
+			on = c.RowsPerSec
+		case "ingest batch=1000 wal=off":
+			off = c.RowsPerSec
+		}
+	}
+	if on <= 0 || off <= 0 {
+		return 0, fmt.Errorf("batch=1000 wal on/off cases missing")
+	}
+	return on / off, nil
+}
+
+// fusionHeadline is the geometric mean of the serving-on-vs-off QPS
+// speedup across every fan-in.
+func fusionHeadline(raw []byte) (float64, error) {
+	var r fusionReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return 0, err
+	}
+	var sp []float64
+	for _, c := range r.Results {
+		if c.Serving && c.SpeedupVsOff > 0 {
+			sp = append(sp, c.SpeedupVsOff)
+		}
+	}
+	return geomean(sp)
+}
+
+// Scan and fusion rerun at quick scale: their ratios hold across scale
+// (fusion keeps the full row count in quick mode for exactly this
+// reason). Ingest reruns at FULL scale — the WAL overhead ratio is
+// scale-sensitive (fsync cost amortises over the ingested volume) and the
+// full run is only seconds.
+var compareSpecs = []compareSpec{
+	{"scan-kernels", scanKernelsFile, "geomean kernel speedup", true, scanHeadline},
+	{"ingest", ingestFile, "wal-on/off throughput", false, ingestHeadline},
+	{"fusion", fusionFile, "geomean serving on/off QPS", true, fusionHeadline},
+}
+
+// Compare runs the benchmark regression gate. Committed baselines are read
+// from baseDir (normally the repo root olapbench was invoked from); fresh
+// quick runs execute in a scratch directory so the committed files are
+// never touched. A baseline file that does not exist is skipped with a
+// note (the experiment has no committed baseline yet); any fresh headline
+// below (1 - tolerance) x committed after one retry makes the returned
+// failed count non-zero.
+func Compare(baseDir string, seed int64, tolerance float64) ([]ComparisonRow, int, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultCompareTolerance
+	}
+	scratch, err := os.MkdirTemp("", "olapbench-compare-*")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(scratch)
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Experiments write their BENCH files into the working directory; run
+	// them from the scratch directory so a compare run never overwrites
+	// the committed baselines it is gating against.
+	if err := os.Chdir(scratch); err != nil {
+		return nil, 0, err
+	}
+	defer os.Chdir(cwd)
+
+	var rows []ComparisonRow
+	failed := 0
+	for _, sp := range compareSpecs {
+		committed, err := os.ReadFile(filepath.Join(baseDir, sp.file))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return rows, failed, err
+		}
+		base, err := sp.extract(committed)
+		if err != nil {
+			return rows, failed, fmt.Errorf("%s: committed %s: %w", sp.id, sp.file, err)
+		}
+		run := func(seed int64) (float64, error) {
+			if _, err := Run(sp.id, Options{Quick: sp.quick, Seed: seed}); err != nil {
+				return 0, fmt.Errorf("%s: fresh run: %w", sp.id, err)
+			}
+			freshRaw, err := os.ReadFile(filepath.Join(scratch, sp.file))
+			if err != nil {
+				return 0, fmt.Errorf("%s: fresh %s: %w", sp.id, sp.file, err)
+			}
+			fresh, err := sp.extract(freshRaw)
+			if err != nil {
+				return 0, fmt.Errorf("%s: fresh %s: %w", sp.id, sp.file, err)
+			}
+			return fresh, nil
+		}
+		fresh, err := run(seed)
+		if err != nil {
+			return rows, failed, err
+		}
+		if fresh < base*(1-tolerance) {
+			// One retry before declaring a regression: the gate must catch
+			// real slowdowns, not one unlucky scheduling of a quick run. A
+			// genuine regression fails both attempts.
+			again, err := run(seed + 1)
+			if err != nil {
+				return rows, failed, err
+			}
+			if again > fresh {
+				fresh = again
+			}
+		}
+		row := ComparisonRow{
+			Experiment: sp.id, Metric: sp.metric,
+			Committed: base, Fresh: fresh, Ratio: fresh / base,
+			OK: fresh >= base*(1-tolerance),
+		}
+		if !row.OK {
+			failed++
+		}
+		rows = append(rows, row)
+	}
+	return rows, failed, nil
+}
+
+// FprintComparison renders the compare table.
+func FprintComparison(w io.Writer, rows []ComparisonRow, tolerance float64) {
+	if tolerance <= 0 {
+		tolerance = DefaultCompareTolerance
+	}
+	fmt.Fprintf(w, "== compare: fresh quick run vs committed baselines (tolerance %.0f%%) ==\n", tolerance*100)
+	for _, r := range rows {
+		verdict := "ok"
+		if !r.OK {
+			verdict = "REGRESSION"
+		}
+		fmt.Fprintf(w, "  %-14s %-28s committed %-8s fresh %-8s ratio %.2f  %s\n",
+			r.Experiment, r.Metric, f(r.Committed), f(r.Fresh), r.Ratio, verdict)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  no committed BENCH_*.json baselines found")
+	}
+}

@@ -1,0 +1,195 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"hybridolap/internal/table"
+)
+
+// fusedReqs is a compatible family over one column set (time.month ×
+// product.category) spanning every op, plus a zero-match member.
+func fusedReqs() []table.ScanRequest {
+	set := func(mFrom, mTo, cFrom, cTo uint32) []table.RangePredicate {
+		return []table.RangePredicate{
+			{Dim: 0, Level: 1, From: mFrom, To: mTo},
+			{Dim: 2, Level: 0, From: cFrom, To: cTo},
+		}
+	}
+	return []table.ScanRequest{
+		{Op: table.AggSum, Measure: 0, Predicates: set(0, 23, 2, 7)},
+		{Op: table.AggCount, Predicates: set(4, 40, 0, 9)},
+		{Op: table.AggMin, Measure: 1, Predicates: set(10, 30, 1, 4)},
+		{Op: table.AggMax, Measure: 0, Predicates: set(0, 47, 3, 3)},
+		{Op: table.AggAvg, Measure: 1, Predicates: set(20, 25, 0, 5)},
+		{Op: table.AggCount, Predicates: set(5, 4, 0, 9)}, // inverted: matches nothing
+	}
+}
+
+func bitsEqual(a, b table.ScanResult) bool {
+	return a.Rows == b.Rows && math.Float64bits(a.Value) == math.Float64bits(b.Value)
+}
+
+// TestExecuteFusedMatchesExecute pins the headline property: each member
+// of a fused kernel gets a bit-identical answer to running that member
+// alone on the same partition — including cell-granted members, whose
+// folded cells must reproduce the scalar bits exactly.
+func TestExecuteFusedMatchesExecute(t *testing.T) {
+	d := newTestDevice(t, 20000)
+	reqs := fusedReqs()
+	wantCells := make([]bool, len(reqs))
+	for mi, req := range reqs {
+		wantCells[mi] = req.Op != table.AggSum && req.Op != table.AggAvg
+	}
+	for _, p := range d.Partitions() {
+		fused, err := p.ExecuteFused(reqs, wantCells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fused) != len(reqs) {
+			t.Fatalf("partition %d: %d answers for %d members", p.ID(), len(fused), len(reqs))
+		}
+		for mi, req := range reqs {
+			want, err := p.Execute(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(fused[mi].Result, want) {
+				t.Fatalf("partition %d member %d: fused=%+v solo=%+v", p.ID(), mi, fused[mi].Result, want)
+			}
+			if wantCells[mi] && fused[mi].Cells == nil {
+				t.Fatalf("partition %d member %d: cells requested but nil", p.ID(), mi)
+			}
+			if !wantCells[mi] && fused[mi].Cells != nil {
+				t.Fatalf("partition %d member %d: cells granted without request", p.ID(), mi)
+			}
+		}
+	}
+}
+
+func TestExecuteFusedSnapshotMatchesExecuteSnapshot(t *testing.T) {
+	d := newTestDevice(t, 64)
+	snap, _ := testSnapshot(t, 20000, []int{7000, 7003, 12000, 19999})
+	reqs := fusedReqs()
+	wantCells := make([]bool, len(reqs))
+	wantCells[1] = true
+	for _, p := range d.Partitions() {
+		fused, err := p.ExecuteFusedSnapshot(snap, reqs, wantCells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mi, req := range reqs {
+			want, err := p.ExecuteSnapshot(snap, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(fused[mi].Result, want) {
+				t.Fatalf("partition %d member %d: fused=%+v solo=%+v", p.ID(), mi, fused[mi].Result, want)
+			}
+		}
+	}
+}
+
+// TestExecuteFusedGroupDeterministic: the fused grouped reduction merges
+// in stripe/unit index order, so repeated runs are bit-identical to each
+// other, and epsilon-close to the per-SM ExecuteGroup path.
+func TestExecuteFusedGroupDeterministic(t *testing.T) {
+	d := newTestDevice(t, 15000)
+	reqs := []table.GroupScanRequest{
+		{ScanRequest: table.ScanRequest{Op: table.AggSum, Measure: 0,
+			Predicates: []table.RangePredicate{{Dim: 2, Level: 1, From: 3, To: 30}}},
+			GroupBy: []table.GroupCol{{Dim: 0, Level: 0}}},
+		{ScanRequest: table.ScanRequest{Op: table.AggAvg, Measure: 1,
+			Predicates: []table.RangePredicate{{Dim: 2, Level: 1, From: 0, To: 12}}},
+			GroupBy: []table.GroupCol{{Dim: 0, Level: 0}, {Dim: 1, Level: 0}}},
+	}
+	p := d.Partitions()[0]
+	a, err := p.ExecuteFusedGroup(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ExecuteFusedGroup(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range reqs {
+		if len(a[mi]) != len(b[mi]) {
+			t.Fatalf("member %d: run lengths differ", mi)
+		}
+		for i := range a[mi] {
+			if a[mi][i].Rows != b[mi][i].Rows ||
+				math.Float64bits(a[mi][i].Value) != math.Float64bits(b[mi][i].Value) {
+				t.Fatalf("member %d group %d: nondeterministic fused grouped run", mi, i)
+			}
+		}
+		want, err := p.ExecuteGroup(reqs[mi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a[mi]) != len(want) {
+			t.Fatalf("member %d: %d groups, want %d", mi, len(a[mi]), len(want))
+		}
+		for i := range want {
+			if table.PackKey(a[mi][i].Keys) != table.PackKey(want[i].Keys) ||
+				a[mi][i].Rows != want[i].Rows ||
+				math.Abs(a[mi][i].Value-want[i].Value) > 1e-6 {
+				t.Fatalf("member %d group %d: fused %+v vs solo %+v", mi, i, a[mi][i], want[i])
+			}
+		}
+	}
+}
+
+func TestExecuteFusedGroupSnapshot(t *testing.T) {
+	d := newTestDevice(t, 64)
+	snap, whole := testSnapshot(t, 15000, []int{1, 5000, 5001, 11000})
+	reqs := []table.GroupScanRequest{
+		{ScanRequest: table.ScanRequest{Op: table.AggCount,
+			Predicates: []table.RangePredicate{{Dim: 2, Level: 1, From: 3, To: 30}}},
+			GroupBy: []table.GroupCol{{Dim: 0, Level: 0}}},
+		{ScanRequest: table.ScanRequest{Op: table.AggSum, Measure: 0,
+			Predicates: []table.RangePredicate{{Dim: 2, Level: 1, From: 0, To: 20}}},
+			GroupBy: []table.GroupCol{{Dim: 1, Level: 0}}},
+	}
+	p := d.Partitions()[0]
+	got, err := p.ExecuteFusedGroupSnapshot(snap, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range reqs {
+		want, err := table.GroupScan(whole, reqs[mi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[mi]) != len(want) {
+			t.Fatalf("member %d: %d groups, want %d", mi, len(got[mi]), len(want))
+		}
+		for i := range want {
+			if table.PackKey(got[mi][i].Keys) != table.PackKey(want[i].Keys) ||
+				got[mi][i].Rows != want[i].Rows ||
+				math.Abs(got[mi][i].Value-want[i].Value) > 1e-6 {
+				t.Fatalf("member %d group %d: %+v != %+v", mi, i, got[mi][i], want[i])
+			}
+		}
+	}
+}
+
+func TestExecuteFusedValidation(t *testing.T) {
+	d := newTestDevice(t, 1000)
+	p := d.Partitions()[0]
+	if _, err := p.ExecuteFused(nil, nil); err == nil {
+		t.Error("empty member set accepted")
+	}
+	incompatible := []table.ScanRequest{
+		{Op: table.AggCount, Predicates: []table.RangePredicate{{Dim: 0, Level: 0, From: 0, To: 1}}},
+		{Op: table.AggCount, Predicates: []table.RangePredicate{{Dim: 1, Level: 0, From: 0, To: 1}}},
+	}
+	if _, err := p.ExecuteFused(incompatible, nil); err == nil {
+		t.Error("incompatible members accepted")
+	}
+	if _, err := p.ExecuteFusedSnapshot(nil, fusedReqs(), nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	if _, err := p.ExecuteFusedGroupSnapshot(nil, nil); err == nil {
+		t.Error("nil snapshot accepted for grouped")
+	}
+}

@@ -144,6 +144,11 @@ type Config struct {
 	// ReprobeSeconds is how long (virtual time) a quarantined partition
 	// sits out before one probe job may test it again (default 5).
 	ReprobeSeconds float64
+	// FusionEpsilonSeconds is ε, the marginal service cost of evaluating
+	// one extra member predicate set during a shared scan (default
+	// DefaultFusionEpsilonSeconds). A fused job of K members is booked at
+	// max(members) + K·ε instead of sum(members).
+	FusionEpsilonSeconds float64
 }
 
 // Estimates carries the per-query model outputs of step 2 of Fig. 10.
@@ -196,6 +201,12 @@ type Stats struct {
 	Quarantines int64
 	// Reprobes counts successful probes (Probation → Healthy).
 	Reprobes int64
+	// FusedJobs counts fused submissions (each books ONE job for K
+	// members); FusedMembers sums the K values; FusionFanIn histograms
+	// them into the FanInBucketLabels buckets.
+	FusedJobs    int64
+	FusedMembers int64
+	FusionFanIn  []int64
 }
 
 // Scheduler owns the queue clocks and applies the configured policy. It is
@@ -233,6 +244,7 @@ func New(cfg Config) (*Scheduler, error) {
 		health: make([]partitionHealth, len(cfg.GPUWidths)),
 	}
 	s.stats.ToGPU = make([]int64, len(cfg.GPUWidths))
+	s.stats.FusionFanIn = make([]int64, len(FanInBucketLabels))
 	return s, nil
 }
 
@@ -243,6 +255,7 @@ func (s *Scheduler) Config() Config { return s.cfg }
 func (s *Scheduler) Stats() Stats {
 	out := s.stats
 	out.ToGPU = append([]int64(nil), s.stats.ToGPU...)
+	out.FusionFanIn = append([]int64(nil), s.stats.FusionFanIn...)
 	return out
 }
 

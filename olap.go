@@ -68,6 +68,16 @@ type Options struct {
 	// MaxRetries bounds re-booking of failed GPU attempts (default 2;
 	// negative disables retries).
 	MaxRetries int
+	// Fusion enables the Serve fusion window: compatible GPU-bound queries
+	// arriving within FusionWindow are executed as one shared scan of up to
+	// FusionMaxFanIn members (defaults 1ms, 64).
+	Fusion         bool
+	FusionWindow   time.Duration
+	FusionMaxFanIn int
+	// ResultCache enables the epoch-keyed result cache consulted by Serve;
+	// CacheMaxEntries bounds it (default 4096).
+	ResultCache     bool
+	CacheMaxEntries int
 }
 
 // DB is an open hybrid OLAP engine.
@@ -99,6 +109,11 @@ func Open(opts Options) (*DB, error) {
 	spec.LiveWALPath = opts.WALPath
 	spec.Faults = opts.FaultPlan
 	spec.MaxRetries = opts.MaxRetries
+	spec.Fusion = opts.Fusion
+	spec.FusionWindow = opts.FusionWindow
+	spec.FusionMaxFanIn = opts.FusionMaxFanIn
+	spec.Cache = opts.ResultCache
+	spec.CacheMaxEntries = opts.CacheMaxEntries
 	sys, err := engine.Setup(spec)
 	if err != nil {
 		return nil, err
@@ -169,10 +184,19 @@ func (db *DB) Schema() *table.Schema { return db.sys.Config().Table.Schema() }
 
 // Route says which partition answered a query.
 type Route struct {
-	// Kind is "cpu" or "gpu[i]".
+	// Kind is "cpu" or "gpu[i]" for a directly executed query; Serve
+	// additionally reports "fused gpu[i]" for shared-scan members and
+	// "cache gpu[i]" / "cache+fold gpu[i]" for exact and interval-subsumed
+	// cache answers (the queue is the placement that produced the bits).
 	Kind string
 	// Translated reports whether text-to-integer translation ran.
 	Translated bool
+	// Fused/FanIn report shared-scan execution; Cached/Subsumed report
+	// result-cache answers. Only Serve sets these.
+	Fused    bool
+	FanIn    int
+	Cached   bool
+	Subsumed bool
 }
 
 // Result is a single query's answer.
@@ -223,6 +247,54 @@ func (db *DB) Run(q *query.Query) (Result, error) {
 		Latency: o.Latency,
 	}, nil
 }
+
+// Serve answers one scalar query through the high-QPS serving path: the
+// epoch-keyed result cache is consulted first (Options.ResultCache) and
+// compatible concurrent GPU-bound queries fuse into shared scans
+// (Options.Fusion). With both disabled it is equivalent to Run. Safe for
+// concurrent use — concurrency is what fills fusion windows.
+func (db *DB) Serve(q *query.Query) (Result, error) {
+	if err := q.Validate(db.Schema()); err != nil {
+		return Result{}, err
+	}
+	o, err := db.sys.Serve(q)
+	if err != nil {
+		return Result{}, err
+	}
+	kind := o.Queue.String()
+	switch {
+	case o.Subsumed:
+		kind = "cache+fold " + kind
+	case o.CacheHit:
+		kind = "cache " + kind
+	case o.Fused:
+		kind = "fused " + kind
+	}
+	return Result{
+		Value: o.Result.Value,
+		Rows:  o.Result.Rows,
+		Route: Route{
+			Kind: kind, Translated: q.GPUOnly(),
+			Fused: o.Fused, FanIn: o.FanIn,
+			Cached: o.CacheHit, Subsumed: o.Subsumed,
+		},
+		Latency: o.Latency,
+	}, nil
+}
+
+// ServeQuery parses one SQL-like scalar query and answers it through the
+// Serve path.
+func (db *DB) ServeQuery(sql string) (Result, error) {
+	q, err := query.Parse(sql, db.Schema())
+	if err != nil {
+		return Result{}, err
+	}
+	return db.Serve(q)
+}
+
+// CacheStats reports the result-cache counters (zero value when the cache
+// is disabled).
+func (db *DB) CacheStats() engine.CacheStats { return db.sys.CacheStats() }
 
 // Batch schedules and executes a set of scalar queries concurrently
 // across all partitions, returning per-query results in input order.

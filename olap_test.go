@@ -163,3 +163,55 @@ func TestCloseIdempotent(t *testing.T) {
 		}
 	}
 }
+
+func TestServeFacade(t *testing.T) {
+	db, err := Open(Options{
+		Rows: 3000, Seed: 2,
+		Fusion: true, FusionWindow: time.Millisecond,
+		ResultCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// time.day is level 2: no materialised cube can answer it, so the
+	// query takes the GPU serving path (a fusion window of one).
+	const sql = "SELECT count(*) WHERE time.day BETWEEN 0 AND 255"
+	res, err := db.ServeQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3000 || res.Route.Cached {
+		t.Fatalf("first serve: %+v", res)
+	}
+	ref, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != ref.Value || res.Rows != ref.Rows {
+		t.Fatalf("serve (%v,%d) != run (%v,%d)", res.Value, res.Rows, ref.Value, ref.Rows)
+	}
+	again, err := db.ServeQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Route.Cached || again.Value != res.Value || again.Rows != res.Rows {
+		t.Fatalf("re-serve: %+v", again)
+	}
+	if cs := db.CacheStats(); cs.Hits == 0 || cs.Stores == 0 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+	narrow, err := db.ServeQuery("SELECT count(*) WHERE time.day BETWEEN 10 AND 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !narrow.Route.Subsumed {
+		t.Fatalf("narrowed count not subsumed: %+v", narrow)
+	}
+	refN, err := db.Query("SELECT count(*) WHERE time.day BETWEEN 10 AND 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Value != refN.Value || narrow.Rows != refN.Rows {
+		t.Fatalf("subsumed (%v,%d) != run (%v,%d)", narrow.Value, narrow.Rows, refN.Value, refN.Rows)
+	}
+}
