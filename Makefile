@@ -82,7 +82,7 @@ bench-smoke:
 	$(GO) run ./cmd/olapbench -quick -experiment ingest
 
 # Benchmark regression gate: fresh quick runs (in a scratch directory) of
-# scan-kernels, ingest and fusion, diffed against the committed
+# scan-kernels, ingest, fusion and cluster, diffed against the committed
 # BENCH_*.json baselines. Every gated headline is a within-run ratio, so
 # machine speed divides out; fails on a >15% regression. Refresh a stale
 # baseline with `olapbench -experiment <id>` at full scale.

@@ -48,6 +48,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generation seed")
 		live   = flag.Bool("live", false, "enable the streaming write path (\\ingest)")
 		wal    = flag.String("wal", "", "append-log path for crash-recoverable ingest (implies -live)")
+		shards = flag.Int("shards", 1, "shard the table over this many simulated nodes (static; incompatible with -live/-wal)")
 		server = flag.String("server", "", "olapd address (e.g. localhost:8080); talk HTTP instead of embedding an engine")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 		fmt.Printf("building demo system (%d rows)...\n", *rows)
 		db, err := olap.Open(olap.Options{
 			Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal,
-			Fusion: true, ResultCache: true,
+			Fusion: true, ResultCache: true, Shards: *shards,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "olapcli:", err)
@@ -197,14 +198,20 @@ func printSchema(db *olap.DB) {
 }
 
 func printStats(db *olap.DB) {
+	if db.Clustered() {
+		printClusterStats(db)
+		return
+	}
 	st := db.System().Scheduler().Stats()
 	fmt.Printf("submitted %d  cpu %d  translated %d  predicted-late %d\n",
 		st.Submitted, st.ToCPU, st.Translated, st.PredictedLate)
 	for i, n := range st.ToGPU {
 		fmt.Printf("  gpu[%d]: %d\n", i, n)
 	}
+	fmt.Printf("partition health:%s\n", healthLine(db.System().Scheduler().HealthStates()))
 	if st.FusedJobs > 0 {
-		fmt.Printf("fusion: jobs %d  members %d  fan-in", st.FusedJobs, st.FusedMembers)
+		fmt.Printf("fusion: jobs %d  members %d  fallbacks %d  fan-in",
+			st.FusedJobs, st.FusedMembers, db.System().FusionFallbacks())
 		for i, n := range st.FusionFanIn {
 			if n > 0 {
 				fmt.Printf(" %s:%d", sched.FanInBucketLabels[i], n)
@@ -220,6 +227,33 @@ func printStats(db *olap.DB) {
 		ist := db.IngestStats()
 		fmt.Printf("ingest: epoch %d  rows %d  batches %d  delta-stripes %d  compactions %d  maintenance-jobs %d\n",
 			ist.Epoch, ist.Rows, ist.Batches, ist.DeltaStripes, ist.Compactions, st.MaintenanceJobs)
+	}
+}
+
+// healthLine formats a per-unit health state list as " 0:healthy 1:quarantined".
+func healthLine(states []sched.HealthState) string {
+	var b strings.Builder
+	for i, h := range states {
+		fmt.Fprintf(&b, " %d:%s", i, h)
+	}
+	return b.String()
+}
+
+// printClusterStats reports the coordinator counters and each node's
+// scheduler totals, node health and per-partition health.
+func printClusterStats(db *olap.DB) {
+	cs, ok := db.ClusterStats()
+	if !ok {
+		return
+	}
+	fmt.Printf("cluster: %d shards  replication %d  chunks %d\n", cs.Shards, cs.Replication, cs.Chunks)
+	fmt.Printf("queries %d  group-queries %d  sub-queries %d (local %d, remote %d)\n",
+		cs.Queries, cs.GroupQueries, cs.SubQueries, cs.LocalSubQueries, cs.RemoteSubQueries)
+	fmt.Printf("moved %d bytes in %.4fs  failures %d  failovers %d  quarantines %d  reprobes %d\n",
+		cs.BytesMoved, cs.MoveSeconds, cs.NodeFailures, cs.Failovers, cs.NodeQuarantines, cs.NodeReprobes)
+	for _, n := range cs.PerNode {
+		fmt.Printf("  node[%d] %-11s shards %v  submitted %d  cpu %d  gpu %d  partitions %s\n",
+			n.Node, n.Health, n.Shards, n.Submitted, n.ToCPU, n.ToGPU, strings.Join(n.Partition, ","))
 	}
 }
 

@@ -36,6 +36,9 @@ func main() {
 		ffanin   = flag.Int("fusion-fanin", 64, "close a fusion window early at this many members")
 		cache    = flag.Bool("cache", true, "enable the epoch-keyed result cache")
 		centries = flag.Int("cache-entries", 0, "result cache capacity (0 = default 4096)")
+		shards   = flag.Int("shards", 1, "shard the table over this many simulated nodes (static; incompatible with -live/-wal)")
+		repl     = flag.Int("replication", 0, "replicas per shard (default min(2, shards))")
+		blind    = flag.Bool("movement-blind", false, "cluster planner ignores link cost when placing (ablation)")
 	)
 	flag.Parse()
 
@@ -44,9 +47,13 @@ func main() {
 		Rows: *rows, Seed: *seed, Live: *live, WALPath: *wal,
 		Fusion: *fusion, FusionWindow: *fwindow, FusionMaxFanIn: *ffanin,
 		ResultCache: *cache, CacheMaxEntries: *centries,
+		Shards: *shards, Replication: *repl, MovementBlind: *blind,
 	})
 	if err != nil {
 		log.Fatal("olapd: ", err)
+	}
+	if db.Clustered() {
+		log.Printf("olapd: sharded over %d nodes (replication %d)", *shards, db.Cluster().Config().Replication)
 	}
 	srv := &http.Server{
 		Addr:    *addr,

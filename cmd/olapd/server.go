@@ -208,8 +208,40 @@ type ingestStats struct {
 type fusionStats struct {
 	FusedJobs    int64    `json:"fused_jobs"`
 	FusedMembers int64    `json:"fused_members"`
+	Fallbacks    int64    `json:"fallbacks"`
 	FanInLabels  []string `json:"fan_in_labels"`
 	FanIn        []int64  `json:"fan_in"`
+}
+
+// clusterNodeStats is one node's row of the cluster /stats section.
+type clusterNodeStats struct {
+	Node            int      `json:"node"`
+	Shards          []int    `json:"shards"`
+	Health          string   `json:"health"`
+	Submitted       int64    `json:"submitted"`
+	ToCPU           int64    `json:"to_cpu"`
+	ToGPU           int64    `json:"to_gpu"`
+	PartitionHealth []string `json:"partition_health"`
+}
+
+// clusterStats is the /stats section a sharded server adds: coordinator
+// counters (sub-query routing, movement, failover) plus per-node health.
+type clusterStats struct {
+	Shards           int                `json:"shards"`
+	Replication      int                `json:"replication"`
+	Chunks           int                `json:"chunks"`
+	Queries          int64              `json:"queries"`
+	GroupQueries     int64              `json:"group_queries"`
+	SubQueries       int64              `json:"sub_queries"`
+	LocalSubQueries  int64              `json:"local_sub_queries"`
+	RemoteSubQueries int64              `json:"remote_sub_queries"`
+	BytesMoved       int64              `json:"bytes_moved"`
+	MoveSeconds      float64            `json:"move_seconds"`
+	NodeFailures     int64              `json:"node_failures"`
+	Failovers        int64              `json:"failovers"`
+	NodeQuarantines  int64              `json:"node_quarantines"`
+	NodeReprobes     int64              `json:"node_reprobes"`
+	Nodes            []clusterNodeStats `json:"nodes"`
 }
 
 type cacheStats struct {
@@ -222,23 +254,28 @@ type cacheStats struct {
 }
 
 type statsResponse struct {
-	Submitted         int64        `json:"submitted"`
-	Resubmitted       int64        `json:"resubmitted"`
-	ToCPU             int64        `json:"to_cpu"`
-	ToGPU             []int64      `json:"to_gpu"`
-	Translated        int64        `json:"translated"`
-	PredictedLate     int64        `json:"predicted_late"`
-	MaintenanceJobs   int64        `json:"maintenance_jobs"`
-	PartitionFailures int64        `json:"partition_failures"`
-	Quarantines       int64        `json:"quarantines"`
-	Reprobes          int64        `json:"reprobes"`
-	PartitionHealth   []string     `json:"partition_health"`
-	Fusion            fusionStats  `json:"fusion"`
-	Cache             cacheStats   `json:"cache"`
-	Ingest            *ingestStats `json:"ingest,omitempty"`
+	Submitted         int64         `json:"submitted"`
+	Resubmitted       int64         `json:"resubmitted"`
+	ToCPU             int64         `json:"to_cpu"`
+	ToGPU             []int64       `json:"to_gpu"`
+	Translated        int64         `json:"translated"`
+	PredictedLate     int64         `json:"predicted_late"`
+	MaintenanceJobs   int64         `json:"maintenance_jobs"`
+	PartitionFailures int64         `json:"partition_failures"`
+	Quarantines       int64         `json:"quarantines"`
+	Reprobes          int64         `json:"reprobes"`
+	PartitionHealth   []string      `json:"partition_health"`
+	Fusion            fusionStats   `json:"fusion"`
+	Cache             cacheStats    `json:"cache"`
+	Ingest            *ingestStats  `json:"ingest,omitempty"`
+	Cluster           *clusterStats `json:"cluster,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.db.Clustered() {
+		s.handleClusterStats(w)
+		return
+	}
 	st := s.db.System().Scheduler().Stats()
 	resp := statsResponse{
 		Submitted:         st.Submitted,
@@ -258,6 +295,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Fusion = fusionStats{
 		FusedJobs:    st.FusedJobs,
 		FusedMembers: st.FusedMembers,
+		Fallbacks:    s.db.System().FusionFallbacks(),
 		FanInLabels:  sched.FanInBucketLabels,
 		FanIn:        st.FusionFanIn,
 	}
@@ -292,6 +330,37 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleClusterStats serves /stats for a sharded server: per-query
+// scheduler counters live on each node, so the response is the
+// coordinator snapshot plus one row per node.
+func (s *server) handleClusterStats(w http.ResponseWriter) {
+	cs, _ := s.db.ClusterStats()
+	out := &clusterStats{
+		Shards:           cs.Shards,
+		Replication:      cs.Replication,
+		Chunks:           cs.Chunks,
+		Queries:          cs.Queries,
+		GroupQueries:     cs.GroupQueries,
+		SubQueries:       cs.SubQueries,
+		LocalSubQueries:  cs.LocalSubQueries,
+		RemoteSubQueries: cs.RemoteSubQueries,
+		BytesMoved:       cs.BytesMoved,
+		MoveSeconds:      cs.MoveSeconds,
+		NodeFailures:     cs.NodeFailures,
+		Failovers:        cs.Failovers,
+		NodeQuarantines:  cs.NodeQuarantines,
+		NodeReprobes:     cs.NodeReprobes,
+	}
+	for _, ns := range cs.PerNode {
+		out.Nodes = append(out.Nodes, clusterNodeStats{
+			Node: ns.Node, Shards: ns.Shards, Health: ns.Health,
+			Submitted: ns.Submitted, ToCPU: ns.ToCPU, ToGPU: ns.ToGPU,
+			PartitionHealth: ns.Partition,
+		})
+	}
+	writeJSON(w, http.StatusOK, statsResponse{Cluster: out})
+}
+
 type ingestRow struct {
 	Coords   []int     `json:"coords"`
 	Measures []float64 `json:"measures"`
@@ -314,6 +383,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	var req ingestRequest
 	if !decodeBody(w, r, &req) {
+		return
+	}
+	if s.db.Clustered() {
+		writeErr(w, http.StatusConflict, fmt.Errorf("sharded server is static; ingest is unsupported with -shards"))
 		return
 	}
 	if s.db.System().Live() == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"hybridolap/internal/query"
 	"hybridolap/internal/table"
 )
 
@@ -27,15 +28,31 @@ func (db *DB) QueryGroups(sql string) ([]GroupRow, Route, error) {
 	if !q.Grouped() {
 		return nil, Route{}, fmt.Errorf("olap: query has no GROUP BY (use Query)")
 	}
+	if db.cl != nil {
+		rows, _, err := db.cl.QueryGroups(q)
+		if err != nil {
+			return nil, Route{}, err
+		}
+		out := db.labelGroupRows(q, rows)
+		return out, Route{Kind: fmt.Sprintf("cluster[%d]", db.cl.Shards()), Translated: q.GPUOnly()}, nil
+	}
 	rows, queue, err := db.sys.RunGrouped(q)
 	if err != nil {
 		return nil, Route{}, err
 	}
+	out := db.labelGroupRows(q, rows)
+	route := Route{Kind: queue, Translated: q.GPUOnly()}
+	return out, route, nil
+}
+
+// labelGroupRows renders raw group keys into human-readable labels:
+// dimension keys as "dim.level=coordinate", text keys decoded through the
+// column's dictionary (live systems decode through the growing append
+// dictionaries, so freshly ingested strings label correctly).
+func (db *DB) labelGroupRows(q *query.Query, rows []table.GroupRow) []GroupRow {
 	out := make([]GroupRow, len(rows))
 	s := db.Schema()
-	// Live systems decode text group labels through the growing append
-	// dictionaries, so freshly ingested strings label correctly.
-	dicts := db.sys.Dicts()
+	dicts := db.dicts()
 	for i, r := range rows {
 		labels := make([]string, len(q.GroupBy))
 		for k, g := range q.GroupBy {
@@ -53,8 +70,7 @@ func (db *DB) QueryGroups(sql string) ([]GroupRow, Route, error) {
 		}
 		out[i] = GroupRow{Labels: labels, Value: r.Value, Rows: r.Rows}
 	}
-	route := Route{Kind: queue, Translated: q.GPUOnly()}
-	return out, route, nil
+	return out
 }
 
 // interface satisfaction reminder for readers: grouped rows originate as

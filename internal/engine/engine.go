@@ -20,6 +20,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridolap/internal/cube"
@@ -113,7 +114,16 @@ type System struct {
 	// fusionMu guards the open fusion windows (one per compatibility key).
 	fusionMu     sync.Mutex
 	fusionGroups map[string]*fusionGroup
+
+	// fusionFallbacks counts members of failed fused jobs (booking or
+	// execution) that were sent back through the individual retry path —
+	// the fused path's fault-tolerance cost, one count per member.
+	fusionFallbacks atomic.Int64
 }
+
+// FusionFallbacks reports how many fused-job members have fallen back to
+// individual execution after a failed booking or shared scan.
+func (s *System) FusionFallbacks() int64 { return s.fusionFallbacks.Load() }
 
 // New validates the wiring and builds the scheduler.
 func New(cfg Config) (*System, error) {

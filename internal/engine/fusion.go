@@ -277,6 +277,7 @@ func (s *System) executeFused(g *fusionGroup) {
 	if err != nil {
 		for _, m := range members {
 			m.fallback = true
+			s.fusionFallbacks.Add(1)
 		}
 		return
 	}
@@ -301,6 +302,7 @@ func (s *System) executeFused(g *fusionGroup) {
 	if execErr != nil {
 		for _, m := range members {
 			m.fallback = true
+			s.fusionFallbacks.Add(1)
 		}
 		return
 	}

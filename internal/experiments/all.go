@@ -32,6 +32,7 @@ func Registry() map[string]Runner {
 		"scan-kernels":         ScanKernels,
 		"ingest":               IngestThroughput,
 		"fusion":               MultiQueryFusion,
+		"cluster":              ClusterScaling,
 	}
 }
 
@@ -41,7 +42,7 @@ var order = []string{
 	"fig3", "fig4", "fig5", "fig8", "fig9",
 	"ablation-placement", "ablation-translation", "ablation-feedback",
 	"ablation-globaldict", "ablation-layout", "batch-heuristics",
-	"scan-kernels", "ingest", "fusion",
+	"scan-kernels", "ingest", "fusion", "cluster",
 }
 
 // IDs returns all experiment IDs in presentation order.

@@ -108,15 +108,33 @@ func fusionHeadline(raw []byte) (float64, error) {
 	return geomean(sp)
 }
 
-// Scan and fusion rerun at quick scale: their ratios hold across scale
-// (fusion keeps the full row count in quick mode for exactly this
-// reason). Ingest reruns at FULL scale — the WAL overhead ratio is
-// scale-sensitive (fsync cost amortises over the ingested volume) and the
-// full run is only seconds.
+// clusterHeadline is the geometric mean of the movement-aware vs
+// movement-blind QPS ratio across every multi-node case (a pure
+// virtual-clock quantity: machine speed never enters).
+func clusterHeadline(raw []byte) (float64, error) {
+	var r clusterReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return 0, err
+	}
+	var sp []float64
+	for _, c := range r.Results {
+		if c.MovementAware && c.Nodes > 1 && c.AwareOverBlindQPS > 0 {
+			sp = append(sp, c.AwareOverBlindQPS)
+		}
+	}
+	return geomean(sp)
+}
+
+// Scan, fusion and cluster rerun at quick scale: their ratios hold across
+// scale (fusion keeps the full row count in quick mode for exactly this
+// reason, and the cluster model is virtual-time). Ingest reruns at FULL
+// scale — the WAL overhead ratio is scale-sensitive (fsync cost amortises
+// over the ingested volume) and the full run is only seconds.
 var compareSpecs = []compareSpec{
 	{"scan-kernels", scanKernelsFile, "geomean kernel speedup", true, scanHeadline},
 	{"ingest", ingestFile, "wal-on/off throughput", false, ingestHeadline},
 	{"fusion", fusionFile, "geomean serving on/off QPS", true, fusionHeadline},
+	{"cluster", clusterFile, "geomean aware/blind QPS", true, clusterHeadline},
 }
 
 // Compare runs the benchmark regression gate. Committed baselines are read

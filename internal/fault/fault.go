@@ -37,6 +37,10 @@ const (
 	WALSync
 	// Compaction fires at delta-stripe compaction, failing the merge.
 	Compaction
+	// NodeExec fires at the cluster coordinator's dispatch of a shard
+	// sub-query to a node, modelling a node crash or network partition:
+	// the attempt fails and the coordinator fails over to a replica.
+	NodeExec
 
 	numPoints
 )
@@ -54,6 +58,8 @@ func (p Point) String() string {
 		return "wal-sync"
 	case Compaction:
 		return "compaction"
+	case NodeExec:
+		return "node-exec"
 	default:
 		return fmt.Sprintf("Point(%d)", int(p))
 	}
@@ -68,7 +74,8 @@ var ErrInjected = errors.New("injected fault")
 type Error struct {
 	// Point is the fault site that fired.
 	Point Point
-	// Part is the GPU partition index for GPUExec, -1 elsewhere.
+	// Part is the GPU partition index for GPUExec and the cluster node
+	// index for NodeExec, -1 elsewhere.
 	Part int
 	// Seq is the 1-based firing count at this point, for log correlation.
 	Seq int64

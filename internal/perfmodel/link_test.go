@@ -1,0 +1,30 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkModel(t *testing.T) {
+	l := PaperLink()
+	if got := l.TransferSeconds(0); got != 0 {
+		t.Fatalf("zero bytes cost %v", got)
+	}
+	if got := l.TransferSeconds(-5); got != 0 {
+		t.Fatalf("negative bytes cost %v", got)
+	}
+	// 125 MiB at 125 MiB/s = 1 s, plus 0.5 ms latency.
+	got := l.TransferSeconds(125 << 20)
+	if math.Abs(got-1.0005) > 1e-9 {
+		t.Fatalf("125 MiB transfer = %v, want 1.0005", got)
+	}
+	// Latency dominates tiny messages.
+	if got := l.TransferSeconds(1); got <= l.LatencySeconds {
+		t.Fatalf("1-byte transfer = %v", got)
+	}
+	// The zero value is a free link, not a division by zero.
+	var free LinkModel
+	if got := free.TransferSeconds(1 << 30); got != 0 {
+		t.Fatalf("free link cost %v", got)
+	}
+}

@@ -26,6 +26,16 @@ func (s *Scheduler) submit(now, deadline float64, est Estimates, counter *int64)
 	if est.NeedsTranslation && est.CPUOK {
 		return Decision{}, fmt.Errorf("sched: query cannot both need translation and be CPU-answerable")
 	}
+	if est.LinkSeconds > 0 {
+		// Movement is paid before any partition of this node can start: fold
+		// the transfer into every service estimate (copying the slice — the
+		// caller's estimates must stay unscaled for retries on other nodes).
+		est.CPUSeconds += est.LinkSeconds
+		est.GPUSeconds = append([]float64(nil), est.GPUSeconds...)
+		for i := range est.GPUSeconds {
+			est.GPUSeconds[i] += est.LinkSeconds
+		}
+	}
 	*counter++
 
 	var d Decision

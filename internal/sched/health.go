@@ -2,20 +2,22 @@ package sched
 
 import "fmt"
 
-// HealthState is one GPU partition's standing with the scheduler. The
+// HealthState is one execution unit's standing with a health tracker. The
 // paper's Fig. 10 assumes every partition always completes its work; the
 // health machine is what lets the reproduction survive the partitions
-// that don't: repeated failures quarantine a partition out of the P_BD
-// scan until a clock-based re-probe lets one job test it again.
+// that don't: repeated failures quarantine a unit out of the placement
+// scan until a clock-based re-probe lets one job test it again. The same
+// machine tracks GPU partitions inside a Scheduler and whole nodes inside
+// the cluster coordinator.
 type HealthState int
 
 const (
-	// Healthy partitions take work normally.
+	// Healthy units take work normally.
 	Healthy HealthState = iota
-	// Probation partitions take work, but a single failure re-quarantines
+	// Probation units take work, but a single failure re-quarantines
 	// them immediately (no threshold grace).
 	Probation
-	// Quarantined partitions are excluded from every placement scan until
+	// Quarantined units are excluded from every placement scan until
 	// the virtual clock reaches their re-probe time.
 	Quarantined
 )
@@ -34,98 +36,107 @@ func (h HealthState) String() string {
 	}
 }
 
-// partitionHealth tracks one GPU partition.
+// partitionHealth tracks one execution unit.
 type partitionHealth struct {
 	state     HealthState
 	fails     int     // consecutive failures while Healthy
-	reprobeAt float64 // virtual time a Quarantined partition may probe again
+	reprobeAt float64 // virtual time a Quarantined unit may probe again
 }
 
-// quarantineThreshold resolves the configured consecutive-failure
-// threshold (default 3).
-func (s *Scheduler) quarantineThreshold() int {
-	if s.cfg.QuarantineThreshold > 0 {
-		return s.cfg.QuarantineThreshold
-	}
-	return 3
+// HealthTracker is the failure/quarantine state machine over n execution
+// units, factored out of the Scheduler so the cluster coordinator can run
+// the identical Healthy → Probation → Quarantined lifecycle over nodes.
+// It is not concurrency-safe; callers serialise access exactly as they
+// serialise the Scheduler that owns it.
+type HealthTracker struct {
+	units     []partitionHealth
+	threshold int
+	reprobe   float64
 }
 
-// reprobeSeconds resolves the configured quarantine sit-out (default 5s
-// of virtual time).
-func (s *Scheduler) reprobeSeconds() float64 {
-	if s.cfg.ReprobeSeconds > 0 {
-		return s.cfg.ReprobeSeconds
+// NewHealthTracker returns a tracker over n units. threshold is the
+// consecutive-failure count that quarantines a Healthy unit (default 3);
+// reprobeSeconds the quarantine sit-out on the caller's virtual clock
+// (default 5).
+func NewHealthTracker(n, threshold int, reprobeSeconds float64) *HealthTracker {
+	if threshold <= 0 {
+		threshold = 3
 	}
-	return 5
+	if reprobeSeconds <= 0 {
+		reprobeSeconds = 5
+	}
+	return &HealthTracker{
+		units:     make([]partitionHealth, n),
+		threshold: threshold,
+		reprobe:   reprobeSeconds,
+	}
 }
 
-// ReportFailure records a failed job on a queue at virtual time now. CPU
-// and translation failures are not health-tracked (there is exactly one
-// of each; quarantining them is shutting the system down). A Healthy GPU
-// partition quarantines after QuarantineThreshold consecutive failures; a
-// Probation partition re-quarantines on its first. Quarantining drops the
-// partition's booked queue time back to now: its queued jobs are being
-// re-placed through the retry path, so leaving their estimates on the
-// clock would charge phantom work to a dead partition and poison every
-// later comparison against it.
-// olaplint:clockwriter: sanctioned queue-clock mutation.
-func (s *Scheduler) ReportFailure(ref QueueRef, now float64) {
-	if ref.Kind != QueueGPU || ref.Index < 0 || ref.Index >= len(s.health) {
-		return
+// Len returns the number of tracked units.
+func (t *HealthTracker) Len() int { return len(t.units) }
+
+// Failure records a failed job on unit i at virtual time now and reports
+// whether the unit transitioned INTO Quarantined (a new quarantine event,
+// as opposed to a refreshed sit-out on an already-quarantined unit). A
+// Healthy unit quarantines after threshold consecutive failures; a
+// Probation unit re-quarantines on its first.
+func (t *HealthTracker) Failure(i int, now float64) bool {
+	if i < 0 || i >= len(t.units) {
+		return false
 	}
-	s.stats.PartitionFailures++
-	h := &s.health[ref.Index]
+	h := &t.units[i]
 	switch h.state {
 	case Probation:
 		// Failed its probe: straight back out.
-		s.quarantine(ref.Index, now)
+		t.quarantine(i, now)
+		return true
 	case Quarantined:
 		// A stale in-flight job placed before the quarantine: refresh the
 		// sit-out window, but this is not a new quarantine event.
-		if at := now + s.reprobeSeconds(); at > h.reprobeAt {
+		if at := now + t.reprobe; at > h.reprobeAt {
 			h.reprobeAt = at
 		}
+		return false
 	default:
 		h.fails++
-		if h.fails >= s.quarantineThreshold() {
-			s.quarantine(ref.Index, now)
+		if h.fails >= t.threshold {
+			t.quarantine(i, now)
+			return true
 		}
+		return false
 	}
 }
 
-// quarantine moves a partition out of service until now+ReprobeSeconds.
-// olaplint:clockwriter: sanctioned queue-clock mutation.
-func (s *Scheduler) quarantine(i int, now float64) {
-	h := &s.health[i]
+// quarantine moves a unit out of service until now+reprobe.
+func (t *HealthTracker) quarantine(i int, now float64) {
+	h := &t.units[i]
 	h.state = Quarantined
 	h.fails = 0
-	h.reprobeAt = now + s.reprobeSeconds()
-	if s.tqGPU[i] > now {
-		s.tqGPU[i] = now
-	}
-	s.stats.Quarantines++
+	h.reprobeAt = now + t.reprobe
 }
 
-// ReportSuccess records a completed job: consecutive-failure counts reset
-// and a Probation partition that survived its probe returns to Healthy.
-func (s *Scheduler) ReportSuccess(ref QueueRef) {
-	if ref.Kind != QueueGPU || ref.Index < 0 || ref.Index >= len(s.health) {
-		return
+// Success records a completed job on unit i: consecutive-failure counts
+// reset, and the return value reports whether a Probation unit survived
+// its probe and returned to Healthy.
+func (t *HealthTracker) Success(i int) bool {
+	if i < 0 || i >= len(t.units) {
+		return false
 	}
-	h := &s.health[ref.Index]
+	h := &t.units[i]
 	h.fails = 0
 	if h.state == Probation {
 		h.state = Healthy
-		s.stats.Reprobes++
+		return true
 	}
+	return false
 }
 
-// eligible reports whether GPU partition i may be offered work at virtual
-// time now. Reaching the re-probe time transitions Quarantined →
-// Probation as a side effect, so the next placement scan may send exactly
-// the probe traffic the state machine wants.
-func (s *Scheduler) eligible(i int, now float64) bool {
-	h := &s.health[i]
+// Eligible reports whether unit i may be offered work at virtual time
+// now. Reaching the re-probe time transitions Quarantined → Probation as
+// a side effect, so the next placement scan may send exactly the probe
+// traffic the state machine wants.
+func (t *HealthTracker) Eligible(i int, now float64) bool {
+	h := &t.units[i]
 	if h.state != Quarantined {
 		return true
 	}
@@ -136,13 +147,77 @@ func (s *Scheduler) eligible(i int, now float64) bool {
 	return false
 }
 
+// State returns unit i's current state and, when quarantined, the
+// virtual time its re-probe opens.
+func (t *HealthTracker) State(i int) (HealthState, float64) {
+	if i < 0 || i >= len(t.units) {
+		return Healthy, 0
+	}
+	return t.units[i].state, t.units[i].reprobeAt
+}
+
+// States snapshots every unit's state.
+func (t *HealthTracker) States() []HealthState {
+	out := make([]HealthState, len(t.units))
+	for i := range t.units {
+		out[i] = t.units[i].state
+	}
+	return out
+}
+
+// Clone returns an independent copy, for hypothetical evaluation (Peek)
+// that must not leak Eligible's probation side effect into live state.
+func (t *HealthTracker) Clone() *HealthTracker {
+	return &HealthTracker{
+		units:     append([]partitionHealth(nil), t.units...),
+		threshold: t.threshold,
+		reprobe:   t.reprobe,
+	}
+}
+
+// ReportFailure records a failed job on a queue at virtual time now. CPU
+// and translation failures are not health-tracked (there is exactly one
+// of each; quarantining them is shutting the system down). Quarantining
+// drops the partition's booked queue time back to now: its queued jobs
+// are being re-placed through the retry path, so leaving their estimates
+// on the clock would charge phantom work to a dead partition and poison
+// every later comparison against it.
+// olaplint:clockwriter: sanctioned queue-clock mutation.
+func (s *Scheduler) ReportFailure(ref QueueRef, now float64) {
+	if ref.Kind != QueueGPU || ref.Index < 0 || ref.Index >= s.health.Len() {
+		return
+	}
+	s.stats.PartitionFailures++
+	if s.health.Failure(ref.Index, now) {
+		if s.tqGPU[ref.Index] > now {
+			s.tqGPU[ref.Index] = now
+		}
+		s.stats.Quarantines++
+	}
+}
+
+// ReportSuccess records a completed job: consecutive-failure counts reset
+// and a Probation partition that survived its probe returns to Healthy.
+func (s *Scheduler) ReportSuccess(ref QueueRef) {
+	if ref.Kind != QueueGPU || ref.Index < 0 || ref.Index >= s.health.Len() {
+		return
+	}
+	if s.health.Success(ref.Index) {
+		s.stats.Reprobes++
+	}
+}
+
+// quarantineThreshold exposes the tracker's resolved consecutive-failure
+// threshold (used by tests).
+func (s *Scheduler) quarantineThreshold() int { return s.health.threshold }
+
 // eligibleSet evaluates eligibility for every GPU partition once per
-// submission (eligible mutates state, so each decide* calls this exactly
+// submission (Eligible mutates state, so each decide* calls this exactly
 // once and shares the result).
 func (s *Scheduler) eligibleSet(now float64) (elig []bool, any bool) {
-	elig = make([]bool, len(s.health))
-	for i := range s.health {
-		if s.eligible(i, now) {
+	elig = make([]bool, s.health.Len())
+	for i := range elig {
+		if s.health.Eligible(i, now) {
 			elig[i] = true
 			any = true
 		}
@@ -153,19 +228,12 @@ func (s *Scheduler) eligibleSet(now float64) (elig []bool, any bool) {
 // Health returns partition i's current state and, when quarantined, the
 // virtual time its re-probe opens.
 func (s *Scheduler) Health(i int) (HealthState, float64) {
-	if i < 0 || i >= len(s.health) {
-		return Healthy, 0
-	}
-	return s.health[i].state, s.health[i].reprobeAt
+	return s.health.State(i)
 }
 
 // HealthStates snapshots every GPU partition's state.
 func (s *Scheduler) HealthStates() []HealthState {
-	out := make([]HealthState, len(s.health))
-	for i := range s.health {
-		out[i] = s.health[i].state
-	}
-	return out
+	return s.health.States()
 }
 
 // ErrAllQuarantined is returned when every partition that could answer

@@ -1,0 +1,64 @@
+package sched
+
+import "testing"
+
+// TestHealthTrackerUnit exercises the tracker directly — the cluster
+// coordinator drives it over nodes the same way the scheduler drives it
+// over GPU partitions.
+func TestHealthTrackerUnit(t *testing.T) {
+	h := NewHealthTracker(2, 2, 10)
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if !h.Eligible(0, 0) || !h.Eligible(1, 0) {
+		t.Fatal("fresh units ineligible")
+	}
+	if h.Failure(0, 1) {
+		t.Fatal("first failure quarantined at threshold 2")
+	}
+	if !h.Failure(0, 2) {
+		t.Fatal("second failure did not quarantine")
+	}
+	if st, _ := h.State(0); st != Quarantined {
+		t.Fatalf("state = %v", st)
+	}
+	if h.Eligible(0, 3) {
+		t.Fatal("quarantined unit eligible before reprobe")
+	}
+	// Reprobe window elapses: unit moves to probation and one success
+	// restores it.
+	if !h.Eligible(0, 13) {
+		t.Fatal("unit not probed after reprobe window")
+	}
+	if st, _ := h.State(0); st != Probation {
+		t.Fatalf("state = %v", st)
+	}
+	if !h.Success(0) {
+		t.Fatal("probation success did not restore")
+	}
+	if st, _ := h.State(0); st != Healthy {
+		t.Fatalf("state = %v", st)
+	}
+	// A failure during quarantine refreshes the reprobe clock instead of
+	// re-quarantining.
+	h.Failure(1, 0)
+	h.Failure(1, 0)
+	if h.Failure(1, 5) {
+		t.Fatal("failure while quarantined reported a fresh quarantine")
+	}
+	if h.Eligible(1, 13) {
+		t.Fatal("reprobe clock not refreshed by in-quarantine failure")
+	}
+
+	// Clone is independent.
+	c := h.Clone()
+	c.Failure(0, 0)
+	c.Failure(0, 0)
+	if st, _ := h.State(0); st != Healthy {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	states := h.States()
+	if len(states) != 2 || states[0] != Healthy || states[1] != Quarantined {
+		t.Fatalf("States = %v", states)
+	}
+}

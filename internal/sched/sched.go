@@ -165,6 +165,14 @@ type Estimates struct {
 	TransSeconds float64
 	// NeedsTranslation reports untranslated text predicates.
 	NeedsTranslation bool
+	// LinkSeconds is the simulated network transfer time to move this
+	// query's inputs to the serving node — the cluster coordinator's link
+	// cost (bytes moved x bandwidth + latency; zero on a single node or
+	// when the data is already resident). submit folds it into every
+	// partition's service estimate, so deadline feasibility and the booked
+	// queue clocks both pay for the movement, exactly as the paper's
+	// estimator pays for kernel time.
+	LinkSeconds float64
 }
 
 // Decision is the scheduler's placement for one query.
@@ -219,7 +227,7 @@ type Scheduler struct {
 	tqTrans float64
 	tqGPU   []float64
 
-	health []partitionHealth
+	health *HealthTracker
 
 	rrNext int // round-robin cursor (policy and placement variants)
 	stats  Stats
@@ -241,7 +249,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:    cfg,
 		tqGPU:  make([]float64, len(cfg.GPUWidths)),
-		health: make([]partitionHealth, len(cfg.GPUWidths)),
+		health: NewHealthTracker(len(cfg.GPUWidths), cfg.QuarantineThreshold, cfg.ReprobeSeconds),
 	}
 	s.stats.ToGPU = make([]int64, len(cfg.GPUWidths))
 	s.stats.FusionFanIn = make([]int64, len(FanInBucketLabels))
@@ -328,7 +336,7 @@ func (s *Scheduler) Peek(now float64, est Estimates) (Decision, error) {
 		tqCPU:   s.tqCPU,
 		tqTrans: s.tqTrans,
 		tqGPU:   append([]float64(nil), s.tqGPU...),
-		health:  append([]partitionHealth(nil), s.health...),
+		health:  s.health.Clone(),
 		rrNext:  s.rrNext,
 	}
 	cp.stats.ToGPU = make([]int64, len(s.cfg.GPUWidths))

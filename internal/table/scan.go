@@ -177,7 +177,10 @@ func Scan(t *FactTable, req ScanRequest) (ScanResult, error) {
 
 // Merge combines two partial results of the same request (the parallel
 // reduction step). Count/sum add; min/max compare; avg sums and divides in
-// Finalize.
+// Finalize. The cluster coordinator folds every shard's chunk partials
+// through this on the scalar hot path, so it must stay allocation-free.
+//
+//olaplint:noalloc
 func Merge(op AggOp, a, b ScanResult) ScanResult {
 	out := ScanResult{Rows: a.Rows + b.Rows}
 	switch op {
@@ -211,6 +214,8 @@ func Merge(op AggOp, a, b ScanResult) ScanResult {
 
 // Finalize completes an aggregate: for avg it divides the accumulated sum
 // by the row count; for count it reports the row count as the value.
+//
+//olaplint:noalloc
 func Finalize(op AggOp, r ScanResult) ScanResult {
 	switch op {
 	case AggAvg:

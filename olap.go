@@ -29,6 +29,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybridolap/internal/cluster"
+	"hybridolap/internal/dict"
 	"hybridolap/internal/engine"
 	"hybridolap/internal/fault"
 	"hybridolap/internal/ingest"
@@ -78,11 +80,30 @@ type Options struct {
 	// CacheMaxEntries bounds it (default 4096).
 	ResultCache     bool
 	CacheMaxEntries int
+	// Shards > 1 opens a distributed database: the fact table is
+	// range-sharded over that many simulated nodes, each with its own GPU
+	// device, cubes and scheduler, and a coordinator plans every shard
+	// sub-query with a link cost model folded into deadlines. Answers are
+	// bit-identical to Shards=1 for any shard count. Sharded databases are
+	// static: Live/WALPath are rejected, and Serve degrades to Run (no
+	// fusion or result cache across nodes).
+	Shards int
+	// Replication is how many nodes hold each shard (default min(2,
+	// Shards)); replicas serve failover when a node dies.
+	Replication int
+	// MovementBlind makes the cluster coordinator ignore link cost when
+	// PLACING sub-queries (execution still pays it) — the ablation baseline
+	// of the cluster benchmark. No effect with Shards <= 1.
+	MovementBlind bool
 }
 
-// DB is an open hybrid OLAP engine.
+// DB is an open hybrid OLAP engine. Exactly one of sys/cl is set: a
+// single-node database runs on the engine, a sharded one (Options.Shards
+// > 1) on the cluster coordinator.
 type DB struct {
 	sys    *engine.System
+	cl     *cluster.Cluster
+	ft     *table.FactTable // cluster mode: the unsharded parent table
 	closed atomic.Bool
 }
 
@@ -90,6 +111,9 @@ type DB struct {
 // simulated Tesla C2070 with the paper's six-partition layout,
 // pre-calculated cubes and the Fig. 10 scheduler.
 func Open(opts Options) (*DB, error) {
+	if opts.Shards > 1 {
+		return openCluster(opts)
+	}
 	spec := engine.SetupSpec{
 		Rows:       opts.Rows,
 		Seed:       opts.Seed,
@@ -124,12 +148,80 @@ func Open(opts Options) (*DB, error) {
 	return &DB{sys: sys}, nil
 }
 
+// openCluster builds a sharded database: one synthetic parent table cut
+// into Options.Shards range shards, each resident (with replicas) on a
+// simulated node owning its own device, cubes and scheduler.
+func openCluster(opts Options) (*DB, error) {
+	if opts.Live || opts.WALPath != "" {
+		return nil, fmt.Errorf("olap: sharded databases are static: Live/WALPath cannot be combined with Shards=%d", opts.Shards)
+	}
+	if opts.GPUOnly {
+		return nil, fmt.Errorf("olap: GPUOnly is a single-node scheduler policy; unsupported with Shards=%d", opts.Shards)
+	}
+	rows := opts.Rows
+	if rows == 0 {
+		rows = 50_000
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ft, err := table.Generate(table.GenSpec{Schema: table.PaperSchema(), Rows: rows, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.Config{
+		Shards:        opts.Shards,
+		Replication:   opts.Replication,
+		CubeLevels:    opts.CubeLevels,
+		CPUThreads:    opts.CPUThreads,
+		MovementBlind: opts.MovementBlind,
+		Faults:        opts.FaultPlan,
+		MaxRetries:    opts.MaxRetries,
+	}
+	if opts.Deadline > 0 {
+		cfg.DeadlineSeconds = opts.Deadline.Seconds()
+	}
+	cl, err := cluster.New(ft, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cl: cl, ft: ft}, nil
+}
+
+// Clustered reports whether the database is sharded (Options.Shards > 1).
+func (db *DB) Clustered() bool { return db.cl != nil }
+
+// Cluster exposes the coordinator for advanced use (node kill switches,
+// the closed-loop model runner). Nil for single-node databases.
+func (db *DB) Cluster() *cluster.Cluster { return db.cl }
+
+// ClusterStats snapshots the coordinator counters; ok is false for
+// single-node databases.
+func (db *DB) ClusterStats() (st cluster.Stats, ok bool) {
+	if db.cl == nil {
+		return cluster.Stats{}, false
+	}
+	return db.cl.Stats(), true
+}
+
+// dicts returns the dictionary set answering this database's decodes.
+func (db *DB) dicts() *dict.Set {
+	if db.cl != nil {
+		return db.ft.Dicts()
+	}
+	return db.sys.Dicts()
+}
+
 // Ingest appends a batch of rows to the live store (Options.Live) and
 // returns the epoch in which they became visible. Rows carry finest-level
 // integer coordinates, one float per measure and one raw string per text
 // column; strings the dictionaries have never seen are appended with
 // fresh stable codes.
 func (db *DB) Ingest(rows []table.Row) (epoch uint64, err error) {
+	if db.cl != nil {
+		return 0, fmt.Errorf("olap: sharded database is static; Ingest is unsupported with Shards > 1")
+	}
 	snap, err := db.sys.Ingest(&ingest.Batch{Rows: rows})
 	if err != nil {
 		return 0, err
@@ -140,6 +232,9 @@ func (db *DB) Ingest(rows []table.Row) (epoch uint64, err error) {
 // IngestStats reports ingest and compaction counters (zero value when the
 // database is not live).
 func (db *DB) IngestStats() ingest.Stats {
+	if db.sys == nil {
+		return ingest.Stats{}
+	}
 	if store := db.sys.Live(); store != nil {
 		return store.Stats()
 	}
@@ -154,6 +249,9 @@ func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if db.sys == nil {
+		return nil
+	}
 	if store := db.sys.Live(); store != nil {
 		return store.Close()
 	}
@@ -165,6 +263,9 @@ func (db *DB) Close() error {
 // working; Ingest returns ingest.ErrDegraded until the database is
 // reopened.
 func (db *DB) Degraded() bool {
+	if db.sys == nil {
+		return false
+	}
 	if store := db.sys.Live(); store != nil {
 		return store.Degraded()
 	}
@@ -175,12 +276,18 @@ func (db *DB) Degraded() bool {
 // tables, devices, estimators or scheduler policies).
 func FromSystem(sys *engine.System) *DB { return &DB{sys: sys} }
 
-// System exposes the underlying engine for advanced use.
+// System exposes the underlying engine for advanced use. Nil for sharded
+// databases, which run on a cluster coordinator instead — see Cluster.
 func (db *DB) System() *engine.System { return db.sys }
 
 // Schema returns the fact-table schema (dimension hierarchies, measures
 // and text columns) for query construction.
-func (db *DB) Schema() *table.Schema { return db.sys.Config().Table.Schema() }
+func (db *DB) Schema() *table.Schema {
+	if db.cl != nil {
+		return db.ft.Schema()
+	}
+	return db.sys.Config().Table.Schema()
+}
 
 // Route says which partition answered a query.
 type Route struct {
@@ -232,6 +339,18 @@ func (db *DB) Run(q *query.Query) (Result, error) {
 	if q.Grouped() {
 		return Result{}, fmt.Errorf("olap: query %d has GROUP BY; use QueryGroups", q.ID)
 	}
+	if db.cl != nil {
+		r, err := db.cl.Query(q)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Value:   r.Value,
+			Rows:    r.Rows,
+			Route:   Route{Kind: fmt.Sprintf("cluster[%d]", db.cl.Shards()), Translated: q.GPUOnly()},
+			Latency: r.Latency,
+		}, nil
+	}
 	res, err := db.sys.RunReal([]*query.Query{q})
 	if err != nil {
 		return Result{}, err
@@ -254,6 +373,11 @@ func (db *DB) Run(q *query.Query) (Result, error) {
 // (Options.Fusion). With both disabled it is equivalent to Run. Safe for
 // concurrent use — concurrency is what fills fusion windows.
 func (db *DB) Serve(q *query.Query) (Result, error) {
+	if db.cl != nil {
+		// Fusion windows and the result cache are single-node machinery;
+		// a sharded database serves through the coordinator directly.
+		return db.Run(q)
+	}
 	if err := q.Validate(db.Schema()); err != nil {
 		return Result{}, err
 	}
@@ -293,8 +417,13 @@ func (db *DB) ServeQuery(sql string) (Result, error) {
 }
 
 // CacheStats reports the result-cache counters (zero value when the cache
-// is disabled).
-func (db *DB) CacheStats() engine.CacheStats { return db.sys.CacheStats() }
+// is disabled or the database is sharded).
+func (db *DB) CacheStats() engine.CacheStats {
+	if db.sys == nil {
+		return engine.CacheStats{}
+	}
+	return db.sys.CacheStats()
+}
 
 // Batch schedules and executes a set of scalar queries concurrently
 // across all partitions, returning per-query results in input order.
@@ -303,6 +432,17 @@ func (db *DB) Batch(qs []*query.Query) ([]Result, error) {
 		if q.Grouped() {
 			return nil, fmt.Errorf("olap: query %d has GROUP BY; use QueryGroups", q.ID)
 		}
+	}
+	if db.cl != nil {
+		out := make([]Result, len(qs))
+		for i, q := range qs {
+			r, err := db.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("olap: query %d: %w", q.ID, err)
+			}
+			out[i] = r
+		}
+		return out, nil
 	}
 	res, err := db.sys.RunReal(qs)
 	if err != nil {
@@ -336,6 +476,9 @@ func (db *DB) Explain(sql string) (*engine.Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.cl != nil {
+		return nil, fmt.Errorf("olap: Explain prices single-node placement; unsupported with Shards > 1")
+	}
 	return db.sys.Explain(q)
 }
 
@@ -344,7 +487,7 @@ func (db *DB) Explain(sql string) (*engine.Explanation, error) {
 func (db *DB) NewGenerator(cfg query.GenConfig) (*query.Generator, error) {
 	cfg.Schema = db.Schema()
 	if cfg.Dicts == nil {
-		cfg.Dicts = db.sys.Dicts()
+		cfg.Dicts = db.dicts()
 	}
 	return query.NewGenerator(cfg)
 }
