@@ -57,10 +57,12 @@ test:
 	$(GO) test ./...
 
 # Fault-injection differential suite under the race detector: seeded
-# chaos plans (GPU kernel aborts, dictionary miss storms, WAL failures)
-# must never change an answer — completed queries stay bit-identical to
-# their fault-free placement and every acked ingest batch survives
-# recovery. See DESIGN.md "Fault model & degradation".
+# chaos plans (GPU kernel aborts, dictionary miss storms, WAL failures,
+# node deaths with link faults during shard re-replication) must never
+# change an answer — completed queries stay bit-identical to their
+# fault-free placement, every acked ingest batch survives recovery, and
+# repaired replicas serve identically to the originals. See DESIGN.md
+# "Fault model & degradation" and "Self-healing & degraded reads".
 test-chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./...
 

@@ -251,6 +251,9 @@ func printClusterStats(db *olap.DB) {
 		cs.Queries, cs.GroupQueries, cs.SubQueries, cs.LocalSubQueries, cs.RemoteSubQueries)
 	fmt.Printf("moved %d bytes in %.4fs  failures %d  failovers %d  quarantines %d  reprobes %d\n",
 		cs.BytesMoved, cs.MoveSeconds, cs.NodeFailures, cs.Failovers, cs.NodeQuarantines, cs.NodeReprobes)
+	fmt.Printf("repair: under-replicated %d  evicted %d  started %d  completed %d  failed %d  moved %d bytes  partial-answers %d\n",
+		cs.UnderReplicatedShards, cs.NodesEvicted, cs.RepairsStarted, cs.RepairsCompleted,
+		cs.RepairsFailed, cs.RepairBytesMoved, cs.PartialAnswers)
 	for _, n := range cs.PerNode {
 		fmt.Printf("  node[%d] %-11s shards %v  submitted %d  cpu %d  gpu %d  partitions %s\n",
 			n.Node, n.Health, n.Shards, n.Submitted, n.ToCPU, n.ToGPU, strings.Join(n.Partition, ","))
@@ -272,7 +275,7 @@ func runQuery(db *olap.DB, sql string) {
 		for _, r := range rows {
 			fmt.Printf("  %-40s %.4f  (%d rows)\n", strings.Join(r.Labels, ", "), r.Value, r.Rows)
 		}
-		fmt.Printf("%d groups via %s\n", len(rows), route.Kind)
+		fmt.Printf("%d groups via %s%s\n", len(rows), route.Kind, partialSuffix(route))
 		return
 	}
 	// The serving path: repeated queries come back from the result cache
@@ -282,5 +285,16 @@ func runQuery(db *olap.DB, sql string) {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Printf("%.4f  (%d rows, via %s, %v)\n", res.Value, res.Rows, res.Route.Kind, res.Latency)
+	fmt.Printf("%.4f  (%d rows, via %s, %v)%s\n", res.Value, res.Rows, res.Route.Kind, res.Latency, partialSuffix(res.Route))
+}
+
+// partialSuffix renders a degraded answer's completeness mask so a
+// partial result can never be mistaken for a full one at the prompt.
+func partialSuffix(route olap.Route) string {
+	p := route.Partial
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf("  ** PARTIAL: %d/%d chunks, missing shards %v **",
+		p.ChunksAnswered, p.ChunksTotal, p.MissingShards)
 }

@@ -81,8 +81,22 @@ type remoteQueryResponse struct {
 		Value  float64  `json:"value"`
 		Rows   int64    `json:"rows"`
 	} `json:"groups"`
-	Route     string  `json:"route"`
+	Route   string `json:"route"`
+	Partial *struct {
+		ChunksAnswered int   `json:"chunks_answered"`
+		ChunksTotal    int   `json:"chunks_total"`
+		MissingShards  []int `json:"missing_shards"`
+	} `json:"partial"`
 	LatencyMS float64 `json:"latency_ms"`
+}
+
+// partialNote marks degraded answers (olapd status 206) at the prompt.
+func (v *remoteQueryResponse) partialNote() string {
+	if v.Partial == nil {
+		return ""
+	}
+	return fmt.Sprintf("  ** PARTIAL: %d/%d chunks, missing shards %v **",
+		v.Partial.ChunksAnswered, v.Partial.ChunksTotal, v.Partial.MissingShards)
 }
 
 func (r *remote) query(sql string) {
@@ -100,14 +114,14 @@ func (r *remote) query(sql string) {
 		for _, g := range v.Groups {
 			fmt.Printf("  %-40s %.4f  (%d rows)\n", strings.Join(g.Labels, ", "), g.Value, g.Rows)
 		}
-		fmt.Printf("%d groups via %s (%.2fms)\n", len(v.Groups), v.Route, v.LatencyMS)
+		fmt.Printf("%d groups via %s (%.2fms)%s\n", len(v.Groups), v.Route, v.LatencyMS, v.partialNote())
 		return
 	}
 	if v.Value == nil || v.Rows == nil {
 		fmt.Println("error: response carries neither value nor groups")
 		return
 	}
-	fmt.Printf("%.4f  (%d rows, via %s, %.2fms)\n", *v.Value, *v.Rows, v.Route, v.LatencyMS)
+	fmt.Printf("%.4f  (%d rows, via %s, %.2fms)%s\n", *v.Value, *v.Rows, v.Route, v.LatencyMS, v.partialNote())
 }
 
 func (r *remote) explain(sql string) {

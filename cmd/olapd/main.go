@@ -39,6 +39,11 @@ func main() {
 		shards   = flag.Int("shards", 1, "shard the table over this many simulated nodes (static; incompatible with -live/-wal)")
 		repl     = flag.Int("replication", 0, "replicas per shard (default min(2, shards))")
 		blind    = flag.Bool("movement-blind", false, "cluster planner ignores link cost when placing (ablation)")
+		admin    = flag.Bool("admin", false, "expose POST /admin/node/{kill,revive} chaos-drill endpoints")
+		partial  = flag.Bool("allow-partial", false, "sharded reads degrade to partial answers (206 + completeness mask) instead of failing when a shard is unavailable")
+		repair   = flag.Bool("auto-repair", true, "re-replicate shards automatically after permanent node loss")
+		grace    = flag.Duration("kill-grace", 0, "declare a killed node permanently dead after this long down (0 = kills stay transient)")
+		evict    = flag.Int("evict-threshold", 0, "declare a node dead after this many quarantines in the eviction window (0 = off)")
 	)
 	flag.Parse()
 
@@ -48,6 +53,8 @@ func main() {
 		Fusion: *fusion, FusionWindow: *fwindow, FusionMaxFanIn: *ffanin,
 		ResultCache: *cache, CacheMaxEntries: *centries,
 		Shards: *shards, Replication: *repl, MovementBlind: *blind,
+		AllowPartial: *partial, AutoRepair: *repair,
+		KillGrace: *grace, EvictThreshold: *evict,
 	})
 	if err != nil {
 		log.Fatal("olapd: ", err)
@@ -55,9 +62,11 @@ func main() {
 	if db.Clustered() {
 		log.Printf("olapd: sharded over %d nodes (replication %d)", *shards, db.Cluster().Config().Replication)
 	}
+	hs := newServer(db, *inflight, *queued)
+	hs.admin = *admin
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(db, *inflight, *queued).mux(),
+		Handler: hs.mux(),
 		// A slow or stalled client must not pin a connection (and, for the
 		// expensive endpoints, an execution slot) forever.
 		ReadHeaderTimeout: 5 * time.Second,

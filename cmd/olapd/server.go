@@ -37,6 +37,10 @@ type server struct {
 	inflight  chan struct{}
 	queued    atomic.Int64
 	maxQueued int64
+	// admin gates the chaos-drill endpoints (POST /admin/node/kill,
+	// /admin/node/revive); off by default — killing nodes over HTTP is a
+	// drill tool, not a serving feature.
+	admin bool
 }
 
 // admit reserves an execution slot, queueing up to the watermark. It
@@ -76,6 +80,12 @@ func (s *server) release() { <-s.inflight }
 //	POST /query         {"sql": "..."} -> scalar or grouped answer
 //	POST /explain       {"sql": "..."} -> estimates + hypothetical placement
 //	POST /ingest        {"rows": [...]} -> epoch the batch became visible in
+//
+// With the -admin flag a sharded server additionally exposes the
+// chaos-drill endpoints:
+//
+//	POST /admin/node/kill    {"node": 1, "permanent": true}
+//	POST /admin/node/revive  {"node": 1, "repair": true}
 func newMux(db *olap.DB) *http.ServeMux {
 	return newServer(db, defaultMaxInflight, defaultMaxQueued).mux()
 }
@@ -103,6 +113,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	if s.admin {
+		mux.HandleFunc("POST /admin/node/kill", s.handleNodeKill)
+		mux.HandleFunc("POST /admin/node/revive", s.handleNodeRevive)
+	}
 	return mux
 }
 
@@ -145,7 +159,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// Liveness stays 200 even degraded — the process is up and queries
-	// work; the status string says the write path is gone.
+	// work; the status string says what capacity is gone: a live store's
+	// write path (durability failure) or a sharded cluster running with
+	// at least one shard below the replication factor.
 	status := "ok"
 	if s.db.Degraded() {
 		status = "degraded"
@@ -225,23 +241,34 @@ type clusterNodeStats struct {
 }
 
 // clusterStats is the /stats section a sharded server adds: coordinator
-// counters (sub-query routing, movement, failover) plus per-node health.
+// counters (sub-query routing, movement, failover, self-healing) plus
+// per-node health.
 type clusterStats struct {
-	Shards           int                `json:"shards"`
-	Replication      int                `json:"replication"`
-	Chunks           int                `json:"chunks"`
-	Queries          int64              `json:"queries"`
-	GroupQueries     int64              `json:"group_queries"`
-	SubQueries       int64              `json:"sub_queries"`
-	LocalSubQueries  int64              `json:"local_sub_queries"`
-	RemoteSubQueries int64              `json:"remote_sub_queries"`
-	BytesMoved       int64              `json:"bytes_moved"`
-	MoveSeconds      float64            `json:"move_seconds"`
-	NodeFailures     int64              `json:"node_failures"`
-	Failovers        int64              `json:"failovers"`
-	NodeQuarantines  int64              `json:"node_quarantines"`
-	NodeReprobes     int64              `json:"node_reprobes"`
-	Nodes            []clusterNodeStats `json:"nodes"`
+	Shards           int     `json:"shards"`
+	Replication      int     `json:"replication"`
+	Chunks           int     `json:"chunks"`
+	Queries          int64   `json:"queries"`
+	GroupQueries     int64   `json:"group_queries"`
+	SubQueries       int64   `json:"sub_queries"`
+	LocalSubQueries  int64   `json:"local_sub_queries"`
+	RemoteSubQueries int64   `json:"remote_sub_queries"`
+	BytesMoved       int64   `json:"bytes_moved"`
+	MoveSeconds      float64 `json:"move_seconds"`
+	NodeFailures     int64   `json:"node_failures"`
+	Failovers        int64   `json:"failovers"`
+	NodeQuarantines  int64   `json:"node_quarantines"`
+	NodeReprobes     int64   `json:"node_reprobes"`
+	// Self-healing: the under-replicated gauge is the /healthz degraded
+	// signal; the repair counters trace the re-replication controller.
+	NodesEvicted          int64              `json:"nodes_evicted"`
+	UnderReplicatedShards int                `json:"under_replicated_shards"`
+	RepairsStarted        int64              `json:"repairs_started"`
+	RepairsCompleted      int64              `json:"repairs_completed"`
+	RepairsFailed         int64              `json:"repairs_failed"`
+	RepairBytesMoved      int64              `json:"repair_bytes_moved"`
+	RepairSeconds         float64            `json:"repair_seconds"`
+	PartialAnswers        int64              `json:"partial_answers"`
+	Nodes                 []clusterNodeStats `json:"nodes"`
 }
 
 type cacheStats struct {
@@ -350,6 +377,15 @@ func (s *server) handleClusterStats(w http.ResponseWriter) {
 		Failovers:        cs.Failovers,
 		NodeQuarantines:  cs.NodeQuarantines,
 		NodeReprobes:     cs.NodeReprobes,
+
+		NodesEvicted:          cs.NodesEvicted,
+		UnderReplicatedShards: cs.UnderReplicatedShards,
+		RepairsStarted:        cs.RepairsStarted,
+		RepairsCompleted:      cs.RepairsCompleted,
+		RepairsFailed:         cs.RepairsFailed,
+		RepairBytesMoved:      cs.RepairBytesMoved,
+		RepairSeconds:         cs.RepairSeconds,
+		PartialAnswers:        cs.PartialAnswers,
 	}
 	for _, ns := range cs.PerNode {
 		out.Nodes = append(out.Nodes, clusterNodeStats{
@@ -423,17 +459,42 @@ type groupRow struct {
 	Rows   int64    `json:"rows"`
 }
 
+// partialBlock reports a degraded answer's completeness mask (sharded
+// servers with -allow-partial): which slice of the global chunk grid
+// the answer covers and which shards were unavailable.
+type partialBlock struct {
+	ChunksAnswered int   `json:"chunks_answered"`
+	ChunksTotal    int   `json:"chunks_total"`
+	MissingShards  []int `json:"missing_shards"`
+}
+
 type queryResponse struct {
 	Value  *float64   `json:"value,omitempty"`
 	Rows   *int64     `json:"rows,omitempty"`
 	Groups []groupRow `json:"groups,omitempty"`
 	Route  string     `json:"route"`
 	// Serving-path markers: shared-scan membership and result-cache hits.
-	Fused     bool    `json:"fused,omitempty"`
-	FanIn     int     `json:"fan_in,omitempty"`
-	Cached    bool    `json:"cached,omitempty"`
-	Subsumed  bool    `json:"subsumed,omitempty"`
-	LatencyMS float64 `json:"latency_ms"`
+	Fused    bool `json:"fused,omitempty"`
+	FanIn    int  `json:"fan_in,omitempty"`
+	Cached   bool `json:"cached,omitempty"`
+	Subsumed bool `json:"subsumed,omitempty"`
+	// Partial is present exactly when the answer is degraded; such
+	// responses are served with status 206 instead of 200.
+	Partial   *partialBlock `json:"partial,omitempty"`
+	LatencyMS float64       `json:"latency_ms"`
+}
+
+// partialOf converts a route's completeness mask into the response
+// block (nil for full answers).
+func partialOf(route olap.Route) *partialBlock {
+	if route.Partial == nil {
+		return nil
+	}
+	return &partialBlock{
+		ChunksAnswered: route.Partial.ChunksAnswered,
+		ChunksTotal:    route.Partial.ChunksTotal,
+		MissingShards:  route.Partial.MissingShards,
+	}
 }
 
 type explainResponse struct {
@@ -502,11 +563,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		resp := queryResponse{Route: route.Kind, LatencyMS: time.Since(t0).Seconds() * 1000}
+		resp := queryResponse{Route: route.Kind, Partial: partialOf(route), LatencyMS: time.Since(t0).Seconds() * 1000}
 		for _, g := range rows {
 			resp.Groups = append(resp.Groups, groupRow{Labels: g.Labels, Value: g.Value, Rows: g.Rows})
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, statusFor(resp.Partial), resp)
 		return
 	}
 	// Scalar queries take the serving path: concurrent compatible requests
@@ -518,11 +579,107 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	resp := queryResponse{
 		Value: &res.Value, Rows: &res.Rows,
 		Route: res.Route.Kind,
 		Fused: res.Route.Fused, FanIn: res.Route.FanIn,
 		Cached: res.Route.Cached, Subsumed: res.Route.Subsumed,
+		Partial:   partialOf(res.Route),
 		LatencyMS: res.Latency.Seconds() * 1000,
+	}
+	writeJSON(w, statusFor(resp.Partial), resp)
+}
+
+// statusFor picks the query status code: a degraded answer is served —
+// it is still an answer — but as 206 Partial Content, so clients that
+// only check the status cannot mistake it for a complete one.
+func statusFor(p *partialBlock) int {
+	if p != nil {
+		return http.StatusPartialContent
+	}
+	return http.StatusOK
+}
+
+// nodeRequest addresses one cluster node for the admin drill endpoints.
+type nodeRequest struct {
+	Node int `json:"node"`
+	// Permanent (kill only) skips the grace period and declares the node
+	// dead immediately — the deterministic permanent-loss drill.
+	Permanent bool `json:"permanent,omitempty"`
+	// Repair (revive only) runs a synchronous repair pass after the
+	// revive, so a drill can restore RF in one round trip.
+	Repair bool `json:"repair,omitempty"`
+}
+
+type nodeResponse struct {
+	Node                  int    `json:"node"`
+	Status                string `json:"status"`
+	UnderReplicatedShards int    `json:"under_replicated_shards"`
+	Repaired              int    `json:"repaired,omitempty"`
+}
+
+// clusterFor resolves the coordinator for an admin request, writing 409
+// when the server is not sharded.
+func (s *server) clusterFor(w http.ResponseWriter, node int) (ok bool) {
+	if !s.db.Clustered() {
+		writeErr(w, http.StatusConflict, fmt.Errorf("admin node endpoints require a sharded server (-shards > 1)"))
+		return false
+	}
+	if node < 0 || node >= s.db.Cluster().Shards() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("node %d out of range [0,%d)", node, s.db.Cluster().Shards()))
+		return false
+	}
+	return true
+}
+
+func (s *server) handleNodeKill(w http.ResponseWriter, r *http.Request) {
+	var req nodeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !s.clusterFor(w, req.Node) {
+		return
+	}
+	cl := s.db.Cluster()
+	status := "killed"
+	var err error
+	if req.Permanent {
+		status = "dead"
+		err = cl.DeclareDead(req.Node)
+	} else {
+		err = cl.KillNode(req.Node)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, nodeResponse{
+		Node: req.Node, Status: status,
+		UnderReplicatedShards: len(cl.UnderReplicated()),
 	})
+}
+
+func (s *server) handleNodeRevive(w http.ResponseWriter, r *http.Request) {
+	var req nodeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !s.clusterFor(w, req.Node) {
+		return
+	}
+	cl := s.db.Cluster()
+	if err := cl.ReviveNode(req.Node); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := nodeResponse{Node: req.Node, Status: "revived"}
+	if req.Repair {
+		n, err := cl.Repair()
+		resp.Repaired = n
+		if err != nil {
+			resp.Status = "revived; repair incomplete: " + err.Error()
+		}
+	}
+	resp.UnderReplicatedShards = len(cl.UnderReplicated())
+	writeJSON(w, http.StatusOK, resp)
 }

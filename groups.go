@@ -29,12 +29,13 @@ func (db *DB) QueryGroups(sql string) ([]GroupRow, Route, error) {
 		return nil, Route{}, fmt.Errorf("olap: query has no GROUP BY (use Query)")
 	}
 	if db.cl != nil {
-		rows, _, err := db.cl.QueryGroups(q)
+		rows, cp, _, err := db.cl.QueryGroups(q)
 		if err != nil {
 			return nil, Route{}, err
 		}
 		out := db.labelGroupRows(q, rows)
-		return out, Route{Kind: fmt.Sprintf("cluster[%d]", db.cl.Shards()), Translated: q.GPUOnly()}, nil
+		route := Route{Kind: fmt.Sprintf("cluster[%d]", db.cl.Shards()), Translated: q.GPUOnly(), Partial: cp}
+		return out, route, nil
 	}
 	rows, queue, err := db.sys.RunGrouped(q)
 	if err != nil {

@@ -18,7 +18,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -81,6 +83,35 @@ type Config struct {
 	// machine the scheduler runs over GPU partitions.
 	QuarantineThreshold int
 	ReprobeSeconds      float64
+	// EvictThreshold escalates the health machine: a node quarantined
+	// this many times within EvictWindowSeconds is declared dead (its
+	// shards become under-replicated and the repair controller takes
+	// over). 0 — the default — disables escalation, preserving the PR-9
+	// behaviour where a flapping node only ever cycles through
+	// quarantine.
+	EvictThreshold int
+	// EvictWindowSeconds is the escalation window (default 60).
+	EvictWindowSeconds float64
+	// KillGraceSeconds declares a killed node dead once it has been down
+	// this long: KillNode models a transient crash, the grace period is
+	// what turns it into a permanent loss. 0 — the default — means kills
+	// stay transient forever (PR-9 semantics); tests and admin drills
+	// that want determinism call DeclareDead directly.
+	KillGraceSeconds float64
+	// AutoRepair starts the re-replication controller automatically
+	// whenever a node is declared dead. When false, repair runs only on
+	// an explicit Repair() call.
+	AutoRepair bool
+	// RepairDeadlineSeconds bounds the per-shard retry loop against
+	// injected link faults (default 30, on the virtual clock).
+	RepairDeadlineSeconds float64
+	// RepairSeed seeds the repair controller's backoff jitter stream.
+	RepairSeed int64
+	// AllowPartial degrades reads instead of failing them: a shard with
+	// no live holder is skipped and the answer carries a Completeness
+	// mask (chunks answered / total, missing shards) instead of
+	// ErrShardUnavailable. Any other shard error still fails the query.
+	AllowPartial bool
 }
 
 // span is a half-open global row interval.
@@ -132,8 +163,18 @@ type Cluster struct {
 	mu        sync.Mutex
 	health    *sched.HealthTracker
 	down      []bool
+	dead      []bool    // permanently lost; implies down until revived empty
+	killedAt  []float64 // virtual kill time for the grace sweep; -1 when up
 	linkClock []float64 // per node, virtual time its ingress link frees
 	stats     Stats
+
+	// repairMu serialises repair passes (one controller at a time);
+	// repairRng is its seeded backoff-jitter stream, only touched under
+	// repairMu. repairWG tracks auto-repair goroutines so Close (and
+	// tests) can quiesce.
+	repairMu  sync.Mutex
+	repairRng *rand.Rand
+	repairWG  sync.WaitGroup
 }
 
 // NodeStats is one node's slice of a Stats snapshot.
@@ -172,9 +213,31 @@ type Stats struct {
 	// counters at node granularity.
 	NodeQuarantines int64 `json:"node_quarantines"`
 	NodeReprobes    int64 `json:"node_reprobes"`
+	// NodesEvicted counts nodes declared permanently dead (quarantine
+	// escalation, kill-grace expiry, or an explicit DeclareDead).
+	NodesEvicted int64 `json:"nodes_evicted"`
+	// UnderReplicatedShards is a gauge (filled by Stats()): shards whose
+	// holder set is below the configured replication factor right now.
+	UnderReplicatedShards int `json:"under_replicated_shards"`
+	// Repair controller counters. RepairsStarted counts per-shard repair
+	// attempts entered; Completed/Failed their outcomes. Bytes and
+	// seconds total only COMPLETED transfers — a failed stream congests
+	// the link clock but moves no durable data.
+	RepairsStarted   int64   `json:"repairs_started"`
+	RepairsCompleted int64   `json:"repairs_completed"`
+	RepairsFailed    int64   `json:"repairs_failed"`
+	RepairBytesMoved int64   `json:"repair_bytes_moved"`
+	RepairSeconds    float64 `json:"repair_seconds"`
+	// PartialAnswers counts degraded reads: queries answered with a
+	// completeness mask because a shard had no live holder.
+	PartialAnswers int64 `json:"partial_answers"`
 	// PerNode snapshots each node (filled by Stats()).
 	PerNode []NodeStats `json:"per_node"`
 }
+
+// ErrConfig is the sentinel every Config-validation failure wraps;
+// callers test errors.Is(err, cluster.ErrConfig).
+var ErrConfig = errors.New("cluster: invalid configuration")
 
 // New shards ft over cfg.Shards simulated nodes. The parent table is
 // retained for translation (shard views share its dictionary set).
@@ -192,8 +255,17 @@ func New(ft *table.FactTable, cfg Config) (*Cluster, error) {
 		cfg.Chunks = DefaultChunks
 	}
 	if cfg.Chunks%cfg.Shards != 0 {
-		return nil, fmt.Errorf("cluster: Chunks (%d) must be a multiple of Shards (%d) so shard boundaries nest into the global merge grid",
-			cfg.Chunks, cfg.Shards)
+		return nil, fmt.Errorf("%w: Chunks (%d) must be a multiple of Shards (%d) so shard boundaries nest into the global merge grid",
+			ErrConfig, cfg.Chunks, cfg.Shards)
+	}
+	if cfg.EvictThreshold < 0 {
+		return nil, fmt.Errorf("%w: EvictThreshold (%d) must be >= 0", ErrConfig, cfg.EvictThreshold)
+	}
+	if cfg.KillGraceSeconds < 0 {
+		return nil, fmt.Errorf("%w: KillGraceSeconds (%v) must be >= 0", ErrConfig, cfg.KillGraceSeconds)
+	}
+	if cfg.RepairDeadlineSeconds == 0 {
+		cfg.RepairDeadlineSeconds = 30
 	}
 	if cfg.Layout == nil {
 		cfg.Layout = gpusim.PaperLayout()
@@ -227,7 +299,15 @@ func New(ft *table.FactTable, cfg Config) (*Cluster, error) {
 		start:     time.Now(),
 		health:    sched.NewHealthTracker(n, cfg.QuarantineThreshold, cfg.ReprobeSeconds),
 		down:      make([]bool, n),
+		dead:      make([]bool, n),
+		killedAt:  make([]float64, n),
 		linkClock: make([]float64, n),
+		// olaplint:seededrand repair backoff jitter (deterministic drills)
+		repairRng: rand.New(rand.NewSource(cfg.RepairSeed*2_000_033 + 17)),
+	}
+	c.health.SetEviction(cfg.EvictThreshold, cfg.EvictWindowSeconds)
+	for i := range c.killedAt {
+		c.killedAt[i] = -1
 	}
 	c.stats.Shards = n
 	c.stats.Replication = cfg.Replication
@@ -352,25 +432,128 @@ func (c *Cluster) maxRetries() int {
 // KillNode marks a node down: it takes no placements and serves no
 // replica fetches until ReviveNode. Unlike a quarantine (which re-probes
 // on a timer), a kill is absolute — the switch chaos tests flip to model
-// a hard crash deterministically.
+// a hard crash deterministically. A kill is TRANSIENT (the node keeps
+// its data and rejoins intact on revive) unless Config.KillGraceSeconds
+// elapses first, at which point the grace sweep declares it dead.
 func (c *Cluster) KillNode(id int) error {
 	if id < 0 || id >= len(c.nodes) {
 		return fmt.Errorf("cluster: node %d out of range", id)
 	}
 	c.mu.Lock()
-	c.down[id] = true
+	if !c.down[id] {
+		c.down[id] = true
+		c.killedAt[id] = c.nowS()
+	}
 	c.mu.Unlock()
 	return nil
 }
 
-// ReviveNode clears a node's kill switch.
+// ReviveNode clears a node's kill switch. Reviving a node that was
+// merely down restores it with its data intact. Reviving a DEAD node
+// readmits it as an empty member — its replicas were permanently lost
+// when it was declared dead, so it rejoins holding nothing and becomes
+// a candidate target for the repair controller.
 func (c *Cluster) ReviveNode(id int) error {
 	if id < 0 || id >= len(c.nodes) {
 		return fmt.Errorf("cluster: node %d out of range", id)
 	}
 	c.mu.Lock()
 	c.down[id] = false
+	c.killedAt[id] = -1
+	if c.dead[id] {
+		c.dead[id] = false
+		c.health.Revive(id)
+	}
 	c.mu.Unlock()
+	return nil
+}
+
+// DeclareDead declares a node permanently lost right now, bypassing the
+// kill grace period: the node is removed from every shard's holder set,
+// its local replicas are dropped, and every shard it held is left
+// under-replicated for the repair controller. Chaos drills and the
+// olapd admin surface use this for deterministic permanent-loss tests;
+// the grace sweep and quarantine escalation call the same transition.
+func (c *Cluster) DeclareDead(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range", id)
+	}
+	c.mu.Lock()
+	changed := c.declareDeadLocked(id)
+	c.mu.Unlock()
+	if changed {
+		c.kickAutoRepair()
+	}
+	return nil
+}
+
+// declareDeadLocked is DeclareDead's body under c.mu: marks the node
+// dead+down, strips it from every holder set, and drops its residency
+// (the data is gone — that is what "permanent" means). Reports whether
+// the node was newly declared. Lock order: c.mu is held; node.mu is
+// taken inside, which is the sanctioned order.
+func (c *Cluster) declareDeadLocked(id int) bool {
+	if c.dead[id] {
+		return false
+	}
+	c.dead[id] = true
+	c.down[id] = true
+	c.stats.NodesEvicted++
+	for s := range c.holders {
+		hs := c.holders[s][:0]
+		for _, h := range c.holders[s] {
+			if h != id {
+				hs = append(hs, h)
+			}
+		}
+		c.holders[s] = hs
+	}
+	nd := c.nodes[id]
+	nd.mu.Lock()
+	nd.devs = make(map[int]*gpusim.Device)
+	nd.cubes = make(map[int]*cube.Set)
+	nd.resident = make(map[int]bool)
+	nd.mu.Unlock()
+	return true
+}
+
+// sweepGraceLocked promotes expired transient kills to permanent loss
+// under c.mu, returning whether any node was newly declared dead. A
+// no-op unless Config.KillGraceSeconds is positive.
+func (c *Cluster) sweepGraceLocked(now float64) bool {
+	if c.cfg.KillGraceSeconds <= 0 {
+		return false
+	}
+	any := false
+	for id := range c.down {
+		if c.down[id] && !c.dead[id] && c.killedAt[id] >= 0 &&
+			now-c.killedAt[id] >= c.cfg.KillGraceSeconds {
+			if c.declareDeadLocked(id) {
+				any = true
+			}
+		}
+	}
+	return any
+}
+
+// kickAutoRepair launches a background repair pass when Config.AutoRepair
+// is set. The pass is tracked on repairWG so Close can quiesce it.
+func (c *Cluster) kickAutoRepair() {
+	if !c.cfg.AutoRepair {
+		return
+	}
+	c.repairWG.Add(1)
+	go func() {
+		defer c.repairWG.Done()
+		_, _ = c.Repair()
+	}()
+}
+
+// Close waits for any in-flight auto-repair passes to finish. The
+// cluster holds no external resources; Close exists so tests and the
+// engine facade can quiesce background repair deterministically.
+func (c *Cluster) Close() error {
+	c.repairWG.Wait()
 	return nil
 }
 
@@ -381,11 +564,33 @@ func (c *Cluster) NodeHealth() []sched.HealthState {
 	return c.health.States()
 }
 
+// underReplicatedLocked lists shards whose holder set is below the
+// replication factor, ascending. Callers hold c.mu.
+func (c *Cluster) underReplicatedLocked() []int {
+	var out []int
+	for s := range c.holders {
+		if len(c.holders[s]) < c.cfg.Replication {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// UnderReplicated lists the shards currently below the replication
+// factor — the repair controller's work queue and the /healthz degraded
+// signal.
+func (c *Cluster) UnderReplicated() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.underReplicatedLocked()
+}
+
 // Stats snapshots the coordinator counters plus each node's scheduler
 // totals and health.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	out := c.stats
+	out.UnderReplicatedShards = len(c.underReplicatedLocked())
 	states := c.health.States()
 	c.mu.Unlock()
 

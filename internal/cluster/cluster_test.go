@@ -80,9 +80,12 @@ func runAll(t *testing.T, c *Cluster, scalars, groups []*query.Query) ([]Result,
 	}
 	gs := make([][]table.GroupRow, len(groups))
 	for i, q := range groups {
-		rows, _, err := c.QueryGroups(q)
+		rows, cp, _, err := c.QueryGroups(q)
 		if err != nil {
 			t.Fatalf("group query %d: %v", q.ID, err)
+		}
+		if cp != nil {
+			t.Fatalf("group query %d: unexpected partial answer %+v", q.ID, cp)
 		}
 		gs[i] = rows
 	}
@@ -236,7 +239,7 @@ func TestChaosClusterDifferential(t *testing.T) {
 							}
 						}
 						for i, q := range groups {
-							rows, _, err := c.QueryGroups(q)
+							rows, _, _, err := c.QueryGroups(q)
 							if err != nil {
 								errCh <- fmt.Errorf("group query %d: %w", q.ID, err)
 								return

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -12,11 +13,31 @@ import (
 	"hybridolap/internal/table"
 )
 
+// Completeness is the mask a degraded (Config.AllowPartial) answer
+// carries: exactly which slice of the global chunk grid the fold
+// covered. A full answer has a nil *Completeness — the mask exists only
+// when chunks are missing, so callers can test `route.Partial != nil`
+// instead of comparing counts.
+type Completeness struct {
+	// ChunksAnswered counts global grid chunks folded into the answer;
+	// ChunksTotal is the grid size (Config.Chunks). A shard answered by
+	// the CPU cube shortcut contributes all of its chunks: the shard
+	// total IS those chunks' fold.
+	ChunksAnswered int `json:"chunks_answered"`
+	ChunksTotal    int `json:"chunks_total"`
+	// MissingShards lists the shards skipped because no live node could
+	// serve them, ascending.
+	MissingShards []int `json:"missing_shards"`
+}
+
 // Result is one scalar cluster answer.
 type Result struct {
 	Value   float64
 	Rows    int64
 	Latency time.Duration
+	// Partial is non-nil when AllowPartial skipped unavailable shards:
+	// Value/Rows then cover only the chunks the mask claims.
+	Partial *Completeness
 }
 
 // translate resolves text predicates against the GLOBAL dictionary set —
@@ -194,10 +215,9 @@ func (c *Cluster) Query(q0 *query.Query) (Result, error) {
 		}(s)
 	}
 	wg.Wait()
-	for s, err := range errs {
-		if err != nil {
-			return Result{}, fmt.Errorf("cluster: shard %d: %w", s, err)
-		}
+	cp, err := c.degrade(errs)
+	if err != nil {
+		return Result{}, err
 	}
 
 	var acc table.ScanResult
@@ -207,7 +227,44 @@ func (c *Cluster) Query(q0 *query.Query) (Result, error) {
 		}
 	}
 	res := table.Finalize(req.Op, acc)
-	return Result{Value: res.Value, Rows: res.Rows, Latency: time.Since(started)}, nil
+	return Result{Value: res.Value, Rows: res.Rows, Latency: time.Since(started), Partial: cp}, nil
+}
+
+// degrade inspects the per-shard fan-out errors. Without AllowPartial
+// any error is fatal. With it, ErrShardUnavailable shards are dropped
+// from the fold and reported in a Completeness mask whose chunk count
+// is exactly the set of grid chunks the surviving shards contributed —
+// the acceptance contract is that mask == chunks folded, which holds
+// because a shard either contributes ALL of its chunks (scan partials
+// or the equivalent CPU shard total) or none. Any other error stays
+// fatal even in partial mode: a failed node is not a missing shard.
+func (c *Cluster) degrade(errs []error) (*Completeness, error) {
+	var missing []int
+	for s, err := range errs {
+		if err == nil {
+			continue
+		}
+		if c.cfg.AllowPartial && errors.Is(err, ErrShardUnavailable) {
+			missing = append(missing, s)
+			continue
+		}
+		return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+	}
+	if len(missing) == 0 {
+		return nil, nil
+	}
+	answered := c.cfg.Chunks
+	for _, s := range missing {
+		answered -= len(c.shardChunks[s])
+	}
+	c.mu.Lock()
+	c.stats.PartialAnswers++
+	c.mu.Unlock()
+	return &Completeness{
+		ChunksAnswered: answered,
+		ChunksTotal:    c.cfg.Chunks,
+		MissingShards:  missing,
+	}, nil
 }
 
 // QueryGroups answers a grouped query across every shard. Each chunk
@@ -215,25 +272,26 @@ func (c *Cluster) Query(q0 *query.Query) (Result, error) {
 // coordinator merges the maps in global chunk order (per-key fold order
 // is the merge-call order, so map iteration order is irrelevant) and
 // finalizes into key-sorted rows — bit-identical across shard counts by
-// the same argument as Query.
-func (c *Cluster) QueryGroups(q0 *query.Query) ([]table.GroupRow, time.Duration, error) {
+// the same argument as Query. The *Completeness is nil for a full
+// answer and the degraded-read mask under AllowPartial.
+func (c *Cluster) QueryGroups(q0 *query.Query) ([]table.GroupRow, *Completeness, time.Duration, error) {
 	if !q0.Grouped() {
-		return nil, 0, fmt.Errorf("cluster: query %d has no GROUP BY; use Query", q0.ID)
+		return nil, nil, 0, fmt.Errorf("cluster: query %d has no GROUP BY; use Query", q0.ID)
 	}
 	started := time.Now()
 	q := q0.Clone()
 	if err := c.translate(q); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	greq, empty, err := q.ToGroupScanRequest(c.schema)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	c.mu.Lock()
 	c.stats.GroupQueries++
 	c.mu.Unlock()
 	if empty {
-		return nil, time.Since(started), nil
+		return nil, nil, time.Since(started), nil
 	}
 	sp := c.specFor(q, greq.ScanRequest, len(greq.GroupBy))
 
@@ -254,10 +312,9 @@ func (c *Cluster) QueryGroups(q0 *query.Query) ([]table.GroupRow, time.Duration,
 		}(s)
 	}
 	wg.Wait()
-	for s, err := range errs {
-		if err != nil {
-			return nil, 0, fmt.Errorf("cluster: shard %d: %w", s, err)
-		}
+	cp, err := c.degrade(errs)
+	if err != nil {
+		return nil, nil, 0, err
 	}
 
 	var acc table.Groups
@@ -267,5 +324,5 @@ func (c *Cluster) QueryGroups(q0 *query.Query) ([]table.GroupRow, time.Duration,
 		}
 	}
 	rows := table.FinalizeGroups(greq.Op, acc, len(greq.GroupBy))
-	return rows, time.Since(started), nil
+	return rows, cp, time.Since(started), nil
 }

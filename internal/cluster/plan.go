@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"hybridolap/internal/cube"
@@ -129,8 +130,10 @@ func subCubeBytes(cs *cube.Set, sp subQuerySpec) (int64, bool) {
 }
 
 // ErrShardUnavailable is returned when no node can serve a shard: every
-// holder is down and no live holder remains to fetch from.
-var ErrShardUnavailable = fmt.Errorf("cluster: no live node can serve shard")
+// holder is down (or dead) and no live holder remains to fetch from.
+// With Config.AllowPartial the coordinator converts it into a degraded
+// answer instead of a failure; callers match it with errors.Is.
+var ErrShardUnavailable = errors.New("cluster: no live node can serve shard")
 
 // place chooses a node for shard s's sub-query and commits the booking
 // on that node's scheduler. Candidates are every eligible node: holders
@@ -143,6 +146,16 @@ var ErrShardUnavailable = fmt.Errorf("cluster: no live node can serve shard")
 // retryable). resubmit re-books against the original absolute deadline,
 // so a failover competes for whatever slack remains.
 func (c *Cluster) place(now, deadline float64, s int, sp subQuerySpec, tried map[int]bool, resubmit bool) (placement, error) {
+	// The grace sweep runs in its own critical section so the auto-repair
+	// kick happens with no lock held: the repair pass takes repairMu then
+	// c.mu, and kicking under c.mu would close a lock-order cycle.
+	c.mu.Lock()
+	swept := c.sweepGraceLocked(now)
+	c.mu.Unlock()
+	if swept {
+		c.kickAutoRepair()
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	aware := !c.cfg.MovementBlind
@@ -169,6 +182,15 @@ func (c *Cluster) place(now, deadline float64, s int, sp subQuerySpec, tried map
 	scan := func(skipTried, requireHealthy bool) error {
 		for _, nd := range c.nodes {
 			if c.down[nd.id] || (skipTried && tried[nd.id]) {
+				continue
+			}
+			// An evicted node is dead to placement in EVERY pass — even
+			// the desperation scan that tolerates quarantined nodes. A
+			// quarantined node is suspect; an evicted one was declared
+			// lost, and its dead/down flags should already exclude it —
+			// this check keeps the invariant even if health escalated
+			// before the death declaration landed.
+			if st, _ := c.health.State(nd.id); st == sched.Evicted {
 				continue
 			}
 			if requireHealthy && !c.health.Eligible(nd.id, now) {
@@ -284,9 +306,12 @@ func (c *Cluster) noteDispatch(pl placement) {
 // noteFailure records a failed dispatch: coordinator health (possibly
 // quarantining the node), failure counters, and releasing the booked
 // service time from the node's queue clock so later placements are not
-// charged phantom work on a dead node.
+// charged phantom work on a dead node. When the quarantine escalates to
+// eviction (Config.EvictThreshold), the node is declared permanently
+// dead here and the repair controller takes over its shards.
 func (c *Cluster) noteFailure(pl placement, willRetry bool) {
 	now := c.nowS()
+	evicted := false
 	c.mu.Lock()
 	c.stats.NodeFailures++
 	if willRetry {
@@ -294,8 +319,14 @@ func (c *Cluster) noteFailure(pl placement, willRetry bool) {
 	}
 	if c.health.Failure(pl.node, now) {
 		c.stats.NodeQuarantines++
+		if st, _ := c.health.State(pl.node); st == sched.Evicted {
+			evicted = c.declareDeadLocked(pl.node)
+		}
 	}
 	c.mu.Unlock()
+	if evicted {
+		c.kickAutoRepair()
+	}
 
 	nd := c.nodes[pl.node]
 	nd.mu.Lock()

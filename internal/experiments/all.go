@@ -33,6 +33,7 @@ func Registry() map[string]Runner {
 		"ingest":               IngestThroughput,
 		"fusion":               MultiQueryFusion,
 		"cluster":              ClusterScaling,
+		"repair":               RepairRecovery,
 	}
 }
 
@@ -42,7 +43,7 @@ var order = []string{
 	"fig3", "fig4", "fig5", "fig8", "fig9",
 	"ablation-placement", "ablation-translation", "ablation-feedback",
 	"ablation-globaldict", "ablation-layout", "batch-heuristics",
-	"scan-kernels", "ingest", "fusion", "cluster",
+	"scan-kernels", "ingest", "fusion", "cluster", "repair",
 }
 
 // IDs returns all experiment IDs in presentation order.

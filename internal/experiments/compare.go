@@ -108,6 +108,22 @@ func fusionHeadline(raw []byte) (float64, error) {
 	return geomean(sp)
 }
 
+// repairHeadline is the slow-link/fast-link recovery-time ratio of the
+// fault-free re-replication sweep (a pure virtual-clock quantity: the
+// repair model is deterministic, so the ratio reproduces exactly).
+func repairHeadline(raw []byte) (float64, error) {
+	var r repairReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return 0, err
+	}
+	for _, c := range r.Results {
+		if !c.Faulty && c.SlowOverFastRecovery > 0 {
+			return c.SlowOverFastRecovery, nil
+		}
+	}
+	return 0, fmt.Errorf("no fault-free slow/fast recovery ratio recorded")
+}
+
 // clusterHeadline is the geometric mean of the movement-aware vs
 // movement-blind QPS ratio across every multi-node case (a pure
 // virtual-clock quantity: machine speed never enters).
@@ -135,6 +151,7 @@ var compareSpecs = []compareSpec{
 	{"ingest", ingestFile, "wal-on/off throughput", false, ingestHeadline},
 	{"fusion", fusionFile, "geomean serving on/off QPS", true, fusionHeadline},
 	{"cluster", clusterFile, "geomean aware/blind QPS", true, clusterHeadline},
+	{"repair", repairFile, "slow/fast recovery ratio", true, repairHeadline},
 }
 
 // Compare runs the benchmark regression gate. Committed baselines are read

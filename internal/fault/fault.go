@@ -41,6 +41,11 @@ const (
 	// sub-query to a node, modelling a node crash or network partition:
 	// the attempt fails and the coordinator fails over to a replica.
 	NodeExec
+	// LinkTransfer fires at an inter-node bulk data stream — the repair
+	// controller's shard re-replication copy — modelling a dropped or
+	// stalled link mid-transfer. The transfer aborts and the caller
+	// retries with seeded, deadline-aware backoff.
+	LinkTransfer
 
 	numPoints
 )
@@ -60,6 +65,8 @@ func (p Point) String() string {
 		return "compaction"
 	case NodeExec:
 		return "node-exec"
+	case LinkTransfer:
+		return "link-transfer"
 	default:
 		return fmt.Sprintf("Point(%d)", int(p))
 	}
@@ -75,7 +82,8 @@ type Error struct {
 	// Point is the fault site that fired.
 	Point Point
 	// Part is the GPU partition index for GPUExec and the cluster node
-	// index for NodeExec, -1 elsewhere.
+	// index for NodeExec and LinkTransfer (the transfer's destination),
+	// -1 elsewhere.
 	Part int
 	// Seq is the 1-based firing count at this point, for log correlation.
 	Seq int64

@@ -30,6 +30,27 @@ func (l LinkModel) TransferSeconds(bytes int64) float64 {
 	return t
 }
 
+// StreamSeconds returns the simulated time to move the given byte
+// volume as a stream of messages chunks messages long — the shape of a
+// shard re-replication copy, which ships one message per merge-grid
+// chunk so a mid-stream failure only re-sends from the last chunk
+// boundary. The per-message latency is paid chunks times; the byte cost
+// is identical to a single transfer. chunks < 1 is treated as one
+// message, so StreamSeconds(b, 1) == TransferSeconds(b).
+func (l LinkModel) StreamSeconds(bytes int64, chunks int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	t := l.LatencySeconds * float64(chunks)
+	if l.BandwidthMBps > 0 {
+		t += float64(bytes) / (l.BandwidthMBps * (1 << 20))
+	}
+	return t
+}
+
 // PaperLink returns the default cluster interconnect: gigabit Ethernet
 // (125 MiB/s sustained, 0.5 ms latency) — deliberately slow relative to
 // the Tesla C2070's PCIe x16 link (BandwidthMBs), so movement matters to

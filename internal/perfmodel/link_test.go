@@ -28,3 +28,27 @@ func TestLinkModel(t *testing.T) {
 		t.Fatalf("free link cost %v", got)
 	}
 }
+
+func TestLinkModelStream(t *testing.T) {
+	l := PaperLink()
+	// A single-message stream is exactly one transfer; chunks < 1 is
+	// clamped to one message.
+	for _, chunks := range []int{1, 0, -3} {
+		if got, want := l.StreamSeconds(125<<20, chunks), l.TransferSeconds(125<<20); got != want {
+			t.Fatalf("StreamSeconds(chunks=%d) = %v, want %v", chunks, got, want)
+		}
+	}
+	// 16 chunks pay 16 latencies but the same byte cost.
+	got := l.StreamSeconds(125<<20, 16)
+	want := 1 + 16*l.LatencySeconds
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("16-chunk stream = %v, want %v", got, want)
+	}
+	if got := l.StreamSeconds(0, 16); got != 0 {
+		t.Fatalf("empty stream cost %v", got)
+	}
+	var free LinkModel
+	if got := free.StreamSeconds(1<<30, 64); got != 0 {
+		t.Fatalf("free link stream cost %v", got)
+	}
+}

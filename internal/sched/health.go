@@ -20,6 +20,13 @@ const (
 	// Quarantined units are excluded from every placement scan until
 	// the virtual clock reaches their re-probe time.
 	Quarantined
+	// Evicted units are permanently out of service: quarantine escalated
+	// past the eviction threshold (SetEviction), so the tracker declares
+	// the unit lost rather than re-probing it forever. No re-probe timer
+	// applies; only an explicit Revive readmits the unit. The cluster
+	// coordinator treats an evicted node as dead and re-replicates its
+	// shards elsewhere.
+	Evicted
 )
 
 // String names the state.
@@ -31,6 +38,8 @@ func (h HealthState) String() string {
 		return "probation"
 	case Quarantined:
 		return "quarantined"
+	case Evicted:
+		return "evicted"
 	default:
 		return fmt.Sprintf("HealthState(%d)", int(h))
 	}
@@ -41,6 +50,9 @@ type partitionHealth struct {
 	state     HealthState
 	fails     int     // consecutive failures while Healthy
 	reprobeAt float64 // virtual time a Quarantined unit may probe again
+	// quarantinedAt records recent quarantine event times for the
+	// eviction escalation; pruned to the eviction window on each event.
+	quarantinedAt []float64
 }
 
 // HealthTracker is the failure/quarantine state machine over n execution
@@ -52,6 +64,11 @@ type HealthTracker struct {
 	units     []partitionHealth
 	threshold int
 	reprobe   float64
+	// evictThreshold quarantine events within evictWindow (virtual
+	// seconds) escalate a unit to Evicted; 0 disables escalation, so a
+	// unit can only ever cycle Healthy → Quarantined → Probation.
+	evictThreshold int
+	evictWindow    float64
 }
 
 // NewHealthTracker returns a tracker over n units. threshold is the
@@ -75,6 +92,21 @@ func NewHealthTracker(n, threshold int, reprobeSeconds float64) *HealthTracker {
 // Len returns the number of tracked units.
 func (t *HealthTracker) Len() int { return len(t.units) }
 
+// SetEviction enables quarantine escalation: a unit quarantined
+// threshold times within windowSeconds on the caller's virtual clock is
+// Evicted — declared permanently lost instead of re-probed. threshold
+// <= 0 disables escalation (the default); windowSeconds <= 0 selects a
+// 60-second window. The transition is evaluated at quarantine time, so
+// enabling eviction on a tracker with history only counts future
+// quarantine events.
+func (t *HealthTracker) SetEviction(threshold int, windowSeconds float64) {
+	if windowSeconds <= 0 {
+		windowSeconds = 60
+	}
+	t.evictThreshold = threshold
+	t.evictWindow = windowSeconds
+}
+
 // Failure records a failed job on unit i at virtual time now and reports
 // whether the unit transitioned INTO Quarantined (a new quarantine event,
 // as opposed to a refreshed sit-out on an already-quarantined unit). A
@@ -90,6 +122,10 @@ func (t *HealthTracker) Failure(i int, now float64) bool {
 		// Failed its probe: straight back out.
 		t.quarantine(i, now)
 		return true
+	case Evicted:
+		// A stale in-flight job against a unit already declared lost:
+		// nothing left to escalate.
+		return false
 	case Quarantined:
 		// A stale in-flight job placed before the quarantine: refresh the
 		// sit-out window, but this is not a new quarantine event.
@@ -107,12 +143,28 @@ func (t *HealthTracker) Failure(i int, now float64) bool {
 	}
 }
 
-// quarantine moves a unit out of service until now+reprobe.
+// quarantine moves a unit out of service until now+reprobe, escalating
+// to Evicted when the unit has been quarantined evictThreshold times
+// within the eviction window (SetEviction).
 func (t *HealthTracker) quarantine(i int, now float64) {
 	h := &t.units[i]
 	h.state = Quarantined
 	h.fails = 0
 	h.reprobeAt = now + t.reprobe
+	if t.evictThreshold <= 0 {
+		return
+	}
+	// Prune events that fell out of the window, then record this one.
+	keep := h.quarantinedAt[:0]
+	for _, at := range h.quarantinedAt {
+		if at > now-t.evictWindow {
+			keep = append(keep, at)
+		}
+	}
+	h.quarantinedAt = append(keep, now)
+	if len(h.quarantinedAt) >= t.evictThreshold {
+		h.state = Evicted
+	}
 }
 
 // Success records a completed job on unit i: consecutive-failure counts
@@ -123,6 +175,11 @@ func (t *HealthTracker) Success(i int) bool {
 		return false
 	}
 	h := &t.units[i]
+	if h.state == Evicted {
+		// A stale in-flight success does not resurrect a unit declared
+		// lost — only an explicit Revive does.
+		return false
+	}
 	h.fails = 0
 	if h.state == Probation {
 		h.state = Healthy
@@ -131,12 +188,26 @@ func (t *HealthTracker) Success(i int) bool {
 	return false
 }
 
+// Revive readmits unit i as a fresh Healthy unit, clearing its failure
+// and quarantine history. This is the only way back from Evicted — the
+// caller is asserting the unit was replaced or repaired, not merely that
+// time passed.
+func (t *HealthTracker) Revive(i int) {
+	if i < 0 || i >= len(t.units) {
+		return
+	}
+	t.units[i] = partitionHealth{}
+}
+
 // Eligible reports whether unit i may be offered work at virtual time
 // now. Reaching the re-probe time transitions Quarantined → Probation as
 // a side effect, so the next placement scan may send exactly the probe
 // traffic the state machine wants.
 func (t *HealthTracker) Eligible(i int, now float64) bool {
 	h := &t.units[i]
+	if h.state == Evicted {
+		return false
+	}
 	if h.state != Quarantined {
 		return true
 	}
@@ -168,10 +239,16 @@ func (t *HealthTracker) States() []HealthState {
 // Clone returns an independent copy, for hypothetical evaluation (Peek)
 // that must not leak Eligible's probation side effect into live state.
 func (t *HealthTracker) Clone() *HealthTracker {
+	units := append([]partitionHealth(nil), t.units...)
+	for i := range units {
+		units[i].quarantinedAt = append([]float64(nil), units[i].quarantinedAt...)
+	}
 	return &HealthTracker{
-		units:     append([]partitionHealth(nil), t.units...),
-		threshold: t.threshold,
-		reprobe:   t.reprobe,
+		units:          units,
+		threshold:      t.threshold,
+		reprobe:        t.reprobe,
+		evictThreshold: t.evictThreshold,
+		evictWindow:    t.evictWindow,
 	}
 }
 

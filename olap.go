@@ -95,6 +95,23 @@ type Options struct {
 	// PLACING sub-queries (execution still pays it) — the ablation baseline
 	// of the cluster benchmark. No effect with Shards <= 1.
 	MovementBlind bool
+	// AllowPartial degrades sharded reads instead of failing them: when a
+	// shard has no live holder the answer covers the surviving shards and
+	// Route.Partial carries the completeness mask. No effect with
+	// Shards <= 1.
+	AllowPartial bool
+	// AutoRepair starts the cluster's re-replication controller whenever a
+	// node is declared permanently dead, restoring every shard to the
+	// replication factor. No effect with Shards <= 1.
+	AutoRepair bool
+	// KillGrace declares a killed node permanently dead once it has been
+	// down this long (0 = kills stay transient forever). No effect with
+	// Shards <= 1.
+	KillGrace time.Duration
+	// EvictThreshold escalates node health: a node quarantined this many
+	// times inside the cluster's eviction window is declared permanently
+	// dead (0 disables escalation). No effect with Shards <= 1.
+	EvictThreshold int
 }
 
 // DB is an open hybrid OLAP engine. Exactly one of sys/cl is set: a
@@ -171,16 +188,23 @@ func openCluster(opts Options) (*DB, error) {
 		return nil, err
 	}
 	cfg := cluster.Config{
-		Shards:        opts.Shards,
-		Replication:   opts.Replication,
-		CubeLevels:    opts.CubeLevels,
-		CPUThreads:    opts.CPUThreads,
-		MovementBlind: opts.MovementBlind,
-		Faults:        opts.FaultPlan,
-		MaxRetries:    opts.MaxRetries,
+		Shards:         opts.Shards,
+		Replication:    opts.Replication,
+		CubeLevels:     opts.CubeLevels,
+		CPUThreads:     opts.CPUThreads,
+		MovementBlind:  opts.MovementBlind,
+		Faults:         opts.FaultPlan,
+		MaxRetries:     opts.MaxRetries,
+		AllowPartial:   opts.AllowPartial,
+		AutoRepair:     opts.AutoRepair,
+		EvictThreshold: opts.EvictThreshold,
+		RepairSeed:     seed,
 	}
 	if opts.Deadline > 0 {
 		cfg.DeadlineSeconds = opts.Deadline.Seconds()
+	}
+	if opts.KillGrace > 0 {
+		cfg.KillGraceSeconds = opts.KillGrace.Seconds()
 	}
 	cl, err := cluster.New(ft, cfg)
 	if err != nil {
@@ -249,6 +273,9 @@ func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if db.cl != nil {
+		return db.cl.Close()
+	}
 	if db.sys == nil {
 		return nil
 	}
@@ -258,11 +285,16 @@ func (db *DB) Close() error {
 	return nil
 }
 
-// Degraded reports whether a durability failure has flipped the live
-// store read-only (always false for a static database). Queries keep
-// working; Ingest returns ingest.ErrDegraded until the database is
-// reopened.
+// Degraded reports whether the database is running below full capacity:
+// for a live single-node store, a durability failure flipped it
+// read-only (Ingest returns ingest.ErrDegraded until reopen); for a
+// sharded database, at least one shard sits below the replication
+// factor (the repair controller's work queue is non-empty). Queries
+// keep working in both cases.
 func (db *DB) Degraded() bool {
+	if db.cl != nil {
+		return len(db.cl.UnderReplicated()) > 0
+	}
 	if db.sys == nil {
 		return false
 	}
@@ -304,6 +336,11 @@ type Route struct {
 	FanIn    int
 	Cached   bool
 	Subsumed bool
+	// Partial is non-nil when a sharded database answered in degraded
+	// mode (Options.AllowPartial): the mask says exactly which slice of
+	// the global chunk grid the answer covers and which shards were
+	// unavailable. Full answers leave it nil.
+	Partial *cluster.Completeness
 }
 
 // Result is a single query's answer.
@@ -345,9 +382,12 @@ func (db *DB) Run(q *query.Query) (Result, error) {
 			return Result{}, err
 		}
 		return Result{
-			Value:   r.Value,
-			Rows:    r.Rows,
-			Route:   Route{Kind: fmt.Sprintf("cluster[%d]", db.cl.Shards()), Translated: q.GPUOnly()},
+			Value: r.Value,
+			Rows:  r.Rows,
+			Route: Route{
+				Kind: fmt.Sprintf("cluster[%d]", db.cl.Shards()), Translated: q.GPUOnly(),
+				Partial: r.Partial,
+			},
 			Latency: r.Latency,
 		}, nil
 	}
